@@ -1,0 +1,182 @@
+// Package gf256 implements arithmetic over the finite field GF(2^8).
+//
+// The field is realized as GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1), the
+// conventional polynomial 0x11D used by Reed-Solomon codes (e.g. in
+// CD/DVD and QR-code standards). Elements are bytes; addition is XOR;
+// multiplication is carried out through logarithm/antilogarithm tables
+// built at package initialization from the generator element 2.
+//
+// All operations are constant-time table lookups (except Div and Inv,
+// which check for division by zero) and allocation-free, making the
+// package suitable as the innermost kernel of the erasure-coding stack.
+package gf256
+
+import "fmt"
+
+// Poly is the irreducible polynomial defining the field, in bit-vector
+// form: x^8 + x^4 + x^3 + x^2 + 1.
+const Poly = 0x11D
+
+// Generator is the primitive element whose powers enumerate all nonzero
+// field elements.
+const Generator = 2
+
+// Order is the number of elements in the field.
+const Order = 256
+
+var (
+	// expTable[i] = Generator^i for i in [0, 510); doubled so that
+	// Mul can index expTable[log(a)+log(b)] without a modular reduction.
+	expTable [510]byte
+	// logTable[a] = discrete log of a to base Generator, for a != 0.
+	logTable [256]uint16
+	// invTable[a] = multiplicative inverse of a, for a != 0.
+	invTable [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		expTable[i+255] = byte(x)
+		logTable[x] = uint16(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Poly
+		}
+	}
+	if x != 1 {
+		panic("gf256: generator does not have order 255")
+	}
+	for a := 1; a < 256; a++ {
+		invTable[a] = expTable[255-int(logTable[a])]
+	}
+}
+
+// Add returns a + b in GF(2^8). Addition and subtraction coincide.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a - b in GF(2^8); identical to Add in characteristic 2.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a * b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a / b in GF(2^8). It panics if b is zero.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := int(logTable[a]) - int(logTable[b])
+	if d < 0 {
+		d += 255
+	}
+	return expTable[d]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a is zero.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return invTable[a]
+}
+
+// Exp returns Generator^e for any integer exponent e (negative allowed).
+func Exp(e int) byte {
+	e %= 255
+	if e < 0 {
+		e += 255
+	}
+	return expTable[e]
+}
+
+// Log returns the discrete logarithm of a to base Generator.
+// It panics if a is zero, which has no logarithm.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf256: log of zero")
+	}
+	return int(logTable[a])
+}
+
+// Pow returns a^e for e >= 0, with the convention 0^0 = 1.
+func Pow(a byte, e int) byte {
+	if e < 0 {
+		panic(fmt.Sprintf("gf256: negative exponent %d", e))
+	}
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[(int(logTable[a])*e)%255]
+}
+
+// MulSlice computes dst[i] = c * src[i] for all i. dst and src must have
+// the same length; they may alias. The c == 0 and c == 1 fast paths avoid
+// table lookups entirely.
+func MulSlice(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case 1:
+		copy(dst, src)
+	default:
+		lc := int(logTable[c])
+		for i, s := range src {
+			if s == 0 {
+				dst[i] = 0
+			} else {
+				dst[i] = expTable[lc+int(logTable[s])]
+			}
+		}
+	}
+}
+
+// MulAddSlice computes dst[i] ^= c * src[i] for all i: the fused
+// multiply-accumulate at the heart of matrix-vector erasure encoding.
+func MulAddSlice(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulAddSlice length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	lc := int(logTable[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= expTable[lc+int(logTable[s])]
+		}
+	}
+}
+
+// AddSlice computes dst[i] ^= src[i] for all i.
+func AddSlice(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: AddSlice length mismatch")
+	}
+	for i, s := range src {
+		dst[i] ^= s
+	}
+}
