@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: all build test vet bench race
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'MulAddSlice|MulSlice|Encode|Reconstruct|Verify' -benchmem ./internal/gf256/ ./internal/rs/

@@ -122,61 +122,5 @@ func Pow(a byte, e int) byte {
 	return expTable[(int(logTable[a])*e)%255]
 }
 
-// MulSlice computes dst[i] = c * src[i] for all i. dst and src must have
-// the same length; they may alias. The c == 0 and c == 1 fast paths avoid
-// table lookups entirely.
-func MulSlice(c byte, dst, src []byte) {
-	if len(dst) != len(src) {
-		panic("gf256: MulSlice length mismatch")
-	}
-	switch c {
-	case 0:
-		for i := range dst {
-			dst[i] = 0
-		}
-	case 1:
-		copy(dst, src)
-	default:
-		lc := int(logTable[c])
-		for i, s := range src {
-			if s == 0 {
-				dst[i] = 0
-			} else {
-				dst[i] = expTable[lc+int(logTable[s])]
-			}
-		}
-	}
-}
-
-// MulAddSlice computes dst[i] ^= c * src[i] for all i: the fused
-// multiply-accumulate at the heart of matrix-vector erasure encoding.
-func MulAddSlice(c byte, dst, src []byte) {
-	if len(dst) != len(src) {
-		panic("gf256: MulAddSlice length mismatch")
-	}
-	if c == 0 {
-		return
-	}
-	if c == 1 {
-		for i, s := range src {
-			dst[i] ^= s
-		}
-		return
-	}
-	lc := int(logTable[c])
-	for i, s := range src {
-		if s != 0 {
-			dst[i] ^= expTable[lc+int(logTable[s])]
-		}
-	}
-}
-
-// AddSlice computes dst[i] ^= src[i] for all i.
-func AddSlice(dst, src []byte) {
-	if len(dst) != len(src) {
-		panic("gf256: AddSlice length mismatch")
-	}
-	for i, s := range src {
-		dst[i] ^= s
-	}
-}
+// Slice kernels (MulSlice, MulAddSlice, AddSlice, Dot) live in
+// kernel.go, where the hot loops are table-driven and unrolled.

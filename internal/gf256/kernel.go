@@ -1,0 +1,218 @@
+package gf256
+
+// Table-driven slice kernels.
+//
+// The scalar field core (gf256.go) multiplies through log/exp lookups:
+// two table reads, an integer add, and a zero-operand branch per byte.
+// For the erasure-coding inner loop — dst[i] ^= c * src[i] over shards
+// of kilobytes to megabytes with a fixed coefficient c — that cost is
+// dominated by a full 256x256 product table: one 256-byte row per
+// coefficient turns every byte into a single branch-free indexed load.
+// The row fits in four cache lines and stays hot for the whole shard.
+//
+// The table (64 KiB) is built lazily on first use so that programs that
+// only ever do scalar arithmetic never pay for it.
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+var (
+	mulTableOnce sync.Once
+	mulTable     *[256][256]byte
+	// nibTable[c] holds, for the SIMD kernels, the 16 products
+	// c*(i) followed by the 16 products c*(i<<4): the two in-register
+	// shuffle tables that split a byte multiply over its nibbles.
+	nibTable *[256][32]byte
+)
+
+func buildMulTable() {
+	t := new([256][256]byte)
+	for c := 1; c < 256; c++ {
+		lc := int(logTable[c])
+		row := &t[c]
+		for a := 1; a < 256; a++ {
+			row[a] = expTable[lc+int(logTable[a])]
+		}
+	}
+	if hasAVX2 {
+		nt := new([256][32]byte)
+		for c := 1; c < 256; c++ {
+			row := &t[c]
+			for i := 0; i < 16; i++ {
+				nt[c][i] = row[i]
+				nt[c][16+i] = row[i<<4]
+			}
+		}
+		nibTable = nt
+	}
+	mulTable = t
+}
+
+// simdMin is the slice length below which the SIMD kernels are not
+// worth their call overhead.
+const simdMin = 64
+
+// MulTableRow returns the 256-byte product row for the coefficient c:
+// row[a] == Mul(c, a) for every a. The returned array is shared and
+// must not be modified. The full table is built on first call.
+func MulTableRow(c byte) *[256]byte {
+	mulTableOnce.Do(buildMulTable)
+	return &mulTable[c]
+}
+
+// MulSlice computes dst[i] = c * src[i] for all i. dst and src must have
+// the same length; they may alias. The c == 0 and c == 1 fast paths avoid
+// table lookups entirely.
+func MulSlice(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case 1:
+		copy(dst, src)
+	default:
+		row := MulTableRow(c)
+		i := 0
+		if hasAVX2 && len(src) >= simdMin {
+			n := len(src) &^ 31
+			mulSliceAVX2(&nibTable[c], dst[:n], src[:n])
+			i = n
+		}
+		for n := len(src) &^ 7; i < n; i += 8 {
+			s := src[i : i+8 : i+8]
+			d := dst[i : i+8 : i+8]
+			d[0] = row[s[0]]
+			d[1] = row[s[1]]
+			d[2] = row[s[2]]
+			d[3] = row[s[3]]
+			d[4] = row[s[4]]
+			d[5] = row[s[5]]
+			d[6] = row[s[6]]
+			d[7] = row[s[7]]
+		}
+		for ; i < len(src); i++ {
+			dst[i] = row[src[i]]
+		}
+	}
+}
+
+// MulAddSlice computes dst[i] ^= c * src[i] for all i: the fused
+// multiply-accumulate at the heart of matrix-vector erasure encoding.
+func MulAddSlice(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulAddSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		AddSlice(dst, src)
+	default:
+		row := MulTableRow(c)
+		i := 0
+		if hasAVX2 && len(src) >= simdMin {
+			n := len(src) &^ 31
+			mulAddSliceAVX2(&nibTable[c], dst[:n], src[:n])
+			i = n
+		}
+		for n := len(src) &^ 7; i < n; i += 8 {
+			s := src[i : i+8 : i+8]
+			d := dst[i : i+8 : i+8]
+			d[0] ^= row[s[0]]
+			d[1] ^= row[s[1]]
+			d[2] ^= row[s[2]]
+			d[3] ^= row[s[3]]
+			d[4] ^= row[s[4]]
+			d[5] ^= row[s[5]]
+			d[6] ^= row[s[6]]
+			d[7] ^= row[s[7]]
+		}
+		for ; i < len(src); i++ {
+			dst[i] ^= row[src[i]]
+		}
+	}
+}
+
+// AddSlice computes dst[i] ^= src[i] for all i, eight bytes per XOR.
+func AddSlice(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: AddSlice length mismatch")
+	}
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// Dot returns the inner product sum_i a[i]*b[i] in GF(2^8). The slices
+// must have equal length.
+func Dot(a, b []byte) byte {
+	if len(a) != len(b) {
+		panic("gf256: Dot length mismatch")
+	}
+	var acc byte
+	for i, x := range a {
+		if x != 0 && b[i] != 0 {
+			acc ^= expTable[int(logTable[x])+int(logTable[b[i]])]
+		}
+	}
+	return acc
+}
+
+// mulSliceScalar is the original log/exp reference kernel, kept for
+// equivalence tests and as the baseline the table kernel is benchmarked
+// against.
+func mulSliceScalar(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case 1:
+		copy(dst, src)
+	default:
+		lc := int(logTable[c])
+		for i, s := range src {
+			if s == 0 {
+				dst[i] = 0
+			} else {
+				dst[i] = expTable[lc+int(logTable[s])]
+			}
+		}
+	}
+}
+
+// mulAddSliceScalar is the original log/exp reference for MulAddSlice.
+func mulAddSliceScalar(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulAddSlice length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	lc := int(logTable[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= expTable[lc+int(logTable[s])]
+		}
+	}
+}

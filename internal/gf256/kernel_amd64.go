@@ -1,0 +1,53 @@
+//go:build amd64 && !purego
+
+package gf256
+
+// AVX2 nibble-table kernels. A GF(2^8) multiply by a fixed coefficient
+// c is GF(2)-linear, so it splits over the two nibbles of each byte:
+// c*b == c*(b & 0x0f) ^ c*(b & 0xf0). Each half has only 16 possible
+// inputs, which is exactly the domain of VPSHUFB: two in-register
+// 16-byte table lookups and a XOR multiply 32 bytes per iteration.
+
+// hasAVX2 gates the assembly kernels. Detection needs CPU support
+// (CPUID.7.EBX bit 5), AVX support, and OS support for saving YMM
+// state (OSXSAVE + XGETBV).
+var hasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := x86cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := x86cpuid(1, 0)
+	const (
+		cpuidOSXSAVE = 1 << 27
+		cpuidAVX     = 1 << 28
+	)
+	if ecx1&cpuidOSXSAVE == 0 || ecx1&cpuidAVX == 0 {
+		return false
+	}
+	if xcr0, _ := xgetbv(); xcr0&6 != 6 { // XMM and YMM state enabled
+		return false
+	}
+	_, ebx7, _, _ := x86cpuid(7, 0)
+	return ebx7&(1<<5) != 0
+}
+
+// x86cpuid executes CPUID for the given leaf/subleaf.
+func x86cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0.
+func xgetbv() (eax, edx uint32)
+
+// mulAddSliceAVX2 computes dst[i] ^= c*src[i] over len(dst) bytes,
+// which must be a multiple of 32. tbl is the coefficient's nibble
+// table: 16 low-nibble products followed by 16 high-nibble products.
+//
+//go:noescape
+func mulAddSliceAVX2(tbl *[32]byte, dst, src []byte)
+
+// mulSliceAVX2 computes dst[i] = c*src[i] over len(dst) bytes, which
+// must be a multiple of 32.
+//
+//go:noescape
+func mulSliceAVX2(tbl *[32]byte, dst, src []byte)

@@ -1,0 +1,93 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+DATA nibbleMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+16(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+24(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibbleMask<>(SB), RODATA, $32
+
+// func x86cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·x86cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL subleaf+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func mulAddSliceAVX2(tbl *[32]byte, dst, src []byte)
+//
+// Y0 = low-nibble product table (both lanes)
+// Y1 = high-nibble product table (both lanes)
+// Y2 = 0x0f byte mask
+TEXT ·mulAddSliceAVX2(SB), NOSPLIT, $0-56
+	MOVQ tbl+0(FP), AX
+	MOVQ dst_base+8(FP), DI
+	MOVQ dst_len+16(FP), CX
+	MOVQ src_base+32(FP), SI
+	SHRQ $5, CX
+	JZ   done
+	VBROADCASTI128 (AX), Y0
+	VBROADCASTI128 16(AX), Y1
+	VMOVDQU nibbleMask<>(SB), Y2
+
+loop:
+	VMOVDQU (SI), Y3
+	VPSRLQ  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3      // low nibbles
+	VPAND   Y2, Y4, Y4      // high nibbles
+	VPSHUFB Y3, Y0, Y3      // c * low
+	VPSHUFB Y4, Y1, Y4      // c * high
+	VPXOR   Y3, Y4, Y3      // c * src
+	VPXOR   (DI), Y3, Y3    // accumulate into dst
+	VMOVDQU Y3, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     loop
+	VZEROUPPER
+
+done:
+	RET
+
+// func mulSliceAVX2(tbl *[32]byte, dst, src []byte)
+TEXT ·mulSliceAVX2(SB), NOSPLIT, $0-56
+	MOVQ tbl+0(FP), AX
+	MOVQ dst_base+8(FP), DI
+	MOVQ dst_len+16(FP), CX
+	MOVQ src_base+32(FP), SI
+	SHRQ $5, CX
+	JZ   done2
+	VBROADCASTI128 (AX), Y0
+	VBROADCASTI128 16(AX), Y1
+	VMOVDQU nibbleMask<>(SB), Y2
+
+loop2:
+	VMOVDQU (SI), Y3
+	VPSRLQ  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y3
+	VPSHUFB Y4, Y1, Y4
+	VPXOR   Y3, Y4, Y3
+	VMOVDQU Y3, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     loop2
+	VZEROUPPER
+
+done2:
+	RET

@@ -1,0 +1,16 @@
+//go:build !amd64 || purego
+
+package gf256
+
+// Portable build: no SIMD kernels; the table-driven path in kernel.go
+// is used for all slice sizes.
+
+const hasAVX2 = false
+
+func mulAddSliceAVX2(tbl *[32]byte, dst, src []byte) {
+	panic("gf256: SIMD kernel called on a build without it")
+}
+
+func mulSliceAVX2(tbl *[32]byte, dst, src []byte) {
+	panic("gf256: SIMD kernel called on a build without it")
+}

@@ -158,12 +158,7 @@ func (m *Matrix) MulVec(v []byte) []byte {
 	}
 	out := make([]byte, m.rows)
 	for i := 0; i < m.rows; i++ {
-		row := m.Row(i)
-		var acc byte
-		for j, c := range row {
-			acc ^= gf256.Mul(c, v[j])
-		}
-		out[i] = acc
+		out[i] = gf256.Dot(m.Row(i), v)
 	}
 	return out
 }
@@ -212,17 +207,20 @@ func (m *Matrix) Invert() (*Matrix, error) {
 				pr[j], cr[j] = cr[j], pr[j]
 			}
 		}
-		// Scale pivot row to make the pivot 1.
+		// Scale pivot row to make the pivot 1, then eliminate the
+		// column from every other row. Columns left of col in the
+		// A-part of the pivot row are already zero, so the row
+		// operations only need the suffix starting at col.
 		inv := gf256.Inv(work.At(col, col))
-		gf256.MulSlice(inv, work.Row(col), work.Row(col))
-		// Eliminate the column from every other row.
+		pivRow := work.Row(col)[col:]
+		gf256.MulSlice(inv, pivRow, pivRow)
 		for r := 0; r < n; r++ {
 			if r == col {
 				continue
 			}
 			c := work.At(r, col)
 			if c != 0 {
-				gf256.MulAddSlice(c, work.Row(r), work.Row(col))
+				gf256.MulAddSlice(c, work.Row(r)[col:], pivRow)
 			}
 		}
 	}
@@ -272,16 +270,18 @@ func SystematicCauchy(n, k int) (*Matrix, error) {
 	if k <= 0 || n < k {
 		return nil, fmt.Errorf("matrix: invalid MDS shape n=%d k=%d", n, k)
 	}
-	if n-k+k > 256 {
+	if n > 256 {
 		return nil, fmt.Errorf("matrix: Cauchy shape too large (n=%d)", n)
 	}
 	g := New(n, k)
 	for i := 0; i < k; i++ {
 		g.Set(i, i, 1)
 	}
-	c := Cauchy(n-k, k)
-	for i := 0; i < n-k; i++ {
-		copy(g.Row(k+i), c.Row(i))
+	if n > k {
+		c := Cauchy(n-k, k)
+		for i := 0; i < n-k; i++ {
+			copy(g.Row(k+i), c.Row(i))
+		}
 	}
 	return g, nil
 }

@@ -1,0 +1,107 @@
+package rs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+var benchShapes = []struct{ n, k int }{
+	{5, 3},
+	{9, 5},
+	{14, 10},
+}
+
+var benchSizes = []struct {
+	name string
+	size int
+}{
+	{"1KiB", 1 << 10},
+	{"64KiB", 64 << 10},
+	{"1MiB", 1 << 20},
+}
+
+func benchShards(b *testing.B, e *Encoder, size int) [][]byte {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	shards := make([][]byte, e.N())
+	for i := 0; i < e.K(); i++ {
+		shards[i] = make([]byte, size)
+		rng.Read(shards[i])
+	}
+	if err := e.Encode(shards); err != nil {
+		b.Fatal(err)
+	}
+	return shards
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for _, sh := range benchShapes {
+		for _, sz := range benchSizes {
+			b.Run(fmt.Sprintf("n%dk%d/%s", sh.n, sh.k, sz.name), func(b *testing.B) {
+				e, err := New(sh.n, sh.k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				shards := benchShards(b, e, sz.size)
+				b.SetBytes(int64(sh.k * sz.size))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := e.Encode(shards); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkReconstruct measures repair of n-k erased shards. The warm
+// variant reuses the cached decode matrix across iterations (the
+// steady-state failure pattern case); cold disables the cache so every
+// iteration pays the O(k^3) inversion.
+func BenchmarkReconstruct(b *testing.B) {
+	for _, sh := range benchShapes {
+		for _, sz := range benchSizes {
+			for _, mode := range []string{"warm", "cold"} {
+				b.Run(fmt.Sprintf("n%dk%d/%s/%s", sh.n, sh.k, sz.name, mode), func(b *testing.B) {
+					opts := []Option{}
+					if mode == "cold" {
+						opts = append(opts, WithCacheSize(0))
+					}
+					e, err := New(sh.n, sh.k, opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					shards := benchShards(b, e, sz.size)
+					b.SetBytes(int64((sh.n - sh.k) * sz.size))
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						for j := 0; j < sh.n-sh.k; j++ {
+							shards[j] = nil
+						}
+						if err := e.Reconstruct(shards); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	e, err := New(9, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shards := benchShards(b, e, 64<<10)
+	b.SetBytes(int64(5 * (64 << 10)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := e.Verify(shards)
+		if err != nil || !ok {
+			b.Fatal("verify failed")
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package rs
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/matrix"
+)
+
+// shardKey is the survivor bitmask identifying which k shards a decode
+// matrix was inverted for. 256 bits covers the maximum code length.
+type shardKey [4]uint64
+
+// matrixCache is a bounded LRU of inverted decode matrices. In steady
+// state a cluster has a stable failure pattern — the same servers are
+// slow or dead across many reads — so the same k x k inversion would
+// otherwise be redone on every reconstruction.
+type matrixCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[shardKey]*list.Element
+	order   *list.List // front is most recently used
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	key shardKey
+	m   *matrix.Matrix
+}
+
+func newMatrixCache(capacity int) *matrixCache {
+	return &matrixCache{
+		cap:     capacity,
+		entries: make(map[shardKey]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+func (c *matrixCache) get(key shardKey) (*matrix.Matrix, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).m, true
+}
+
+func (c *matrixCache) put(key shardKey, m *matrix.Matrix) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).m = m
+		return
+	}
+	for c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, m: m})
+}
+
+func (c *matrixCache) stats() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len()
+}

@@ -1,0 +1,414 @@
+// Package rs implements a systematic Reed-Solomon erasure codec over
+// GF(2^8) for arbitrary [n, k] shapes with n <= 256.
+//
+// In SODA (Konwar et al., IPDPS 2016) every server stores exactly one
+// coded element of each version, so the cluster of n servers is one
+// [n, k] MDS codeword: a write encodes the value into n shards, and a
+// read that has heard from any k servers reconstructs. This package is
+// that inner loop. The generator is matrix.SystematicCauchy, so shards
+// 0..k-1 are the data itself (copy-free reads when no server has
+// failed) and shards k..n-1 are parity.
+//
+// Performance structure, innermost to outermost:
+//
+//   - gf256 table kernel: MulSlice/MulAddSlice are one indexed load per
+//     byte from a per-coefficient 256-byte product row (see
+//     gf256/kernel.go).
+//   - decode-matrix cache: reconstruction after a given failure pattern
+//     needs the inverse of the k x k sub-generator chosen by the
+//     surviving shards; the inverse is cached in a bounded LRU keyed by
+//     the survivor bitmask, so a stable failure pattern pays the O(k^3)
+//     inversion once.
+//   - striping: above a size threshold, shards are split into 64-byte
+//     aligned stripes coded concurrently on up to WithConcurrency
+//     goroutines (default runtime.GOMAXPROCS).
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/gf256"
+	"repro/internal/matrix"
+)
+
+var (
+	// ErrInvalidShape is returned by New for unusable [n, k] shapes.
+	ErrInvalidShape = errors.New("rs: invalid code shape")
+	// ErrInvalidOption is returned by New for out-of-range option values.
+	ErrInvalidOption = errors.New("rs: invalid option")
+	// ErrShardCount is returned when a shard slice does not have
+	// exactly n entries.
+	ErrShardCount = errors.New("rs: wrong number of shards")
+	// ErrShardSize is returned when present shards have mismatched
+	// sizes, or a required shard is missing/empty.
+	ErrShardSize = errors.New("rs: shards have invalid sizes")
+	// ErrTooFewShards is returned by Reconstruct when fewer than k
+	// shards are present.
+	ErrTooFewShards = errors.New("rs: too few shards to reconstruct")
+)
+
+// Encoder is a reusable [n, k] systematic Reed-Solomon codec. It is
+// safe for concurrent use.
+type Encoder struct {
+	n, k int
+	gen  *matrix.Matrix // n x k systematic generator (top k rows = I)
+
+	conc      int // max goroutines per striped operation
+	stripeMin int // minimum shard size before striping kicks in
+	cache     *matrixCache
+}
+
+// Option configures an Encoder.
+type Option func(*Encoder) error
+
+// WithConcurrency bounds the number of goroutines used to stripe a
+// single Encode/Reconstruct call. c must be at least 1; 1 disables
+// striping. The default is runtime.GOMAXPROCS(0).
+func WithConcurrency(c int) Option {
+	return func(e *Encoder) error {
+		if c < 1 {
+			return fmt.Errorf("%w: concurrency %d < 1", ErrInvalidOption, c)
+		}
+		e.conc = c
+		return nil
+	}
+}
+
+// WithStripeThreshold sets the minimum shard size, in bytes, at which
+// coding work is split across goroutines. Below it everything runs on
+// the calling goroutine. The default is 64 KiB.
+func WithStripeThreshold(bytes int) Option {
+	return func(e *Encoder) error {
+		if bytes < 0 {
+			return fmt.Errorf("%w: stripe threshold %d < 0", ErrInvalidOption, bytes)
+		}
+		e.stripeMin = bytes
+		return nil
+	}
+}
+
+// WithCacheSize bounds the decode-matrix LRU to the given number of
+// entries. 0 disables caching (every reconstruction inverts). The
+// default is 64 entries, about 64 * k^2 bytes.
+func WithCacheSize(entries int) Option {
+	return func(e *Encoder) error {
+		if entries < 0 {
+			return fmt.Errorf("%w: cache size %d < 0", ErrInvalidOption, entries)
+		}
+		if entries == 0 {
+			e.cache = nil
+		} else {
+			e.cache = newMatrixCache(entries)
+		}
+		return nil
+	}
+}
+
+const (
+	defaultStripeMin = 64 << 10
+	defaultCacheSize = 64
+)
+
+// New returns an [n, k] Encoder: n total shards of which k carry data,
+// tolerating any n-k erasures. Requires 0 < k <= n <= 256.
+func New(n, k int, opts ...Option) (*Encoder, error) {
+	if k <= 0 || n < k || n > 256 {
+		return nil, fmt.Errorf("%w: n=%d k=%d (need 0 < k <= n <= 256)", ErrInvalidShape, n, k)
+	}
+	gen, err := matrix.SystematicCauchy(n, k)
+	if err != nil {
+		return nil, fmt.Errorf("rs: building generator: %w", err)
+	}
+	e := &Encoder{
+		n:         n,
+		k:         k,
+		gen:       gen,
+		conc:      runtime.GOMAXPROCS(0),
+		stripeMin: defaultStripeMin,
+		cache:     newMatrixCache(defaultCacheSize),
+	}
+	for _, opt := range opts {
+		if err := opt(e); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// N returns the total number of shards.
+func (e *Encoder) N() int { return e.n }
+
+// K returns the number of data shards.
+func (e *Encoder) K() int { return e.k }
+
+// Encode fills the parity shards shards[k..n-1] from the data shards
+// shards[0..k-1]. Data shards must all be present with equal size.
+// Parity shards may be missing (nil or zero length, matching
+// Reconstruct's convention; they are allocated) or preallocated at the
+// data size.
+func (e *Encoder) Encode(shards [][]byte) error {
+	if len(shards) != e.n {
+		return fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), e.n)
+	}
+	size, err := e.dataSize(shards)
+	if err != nil {
+		return err
+	}
+	// Validate every parity size before allocating any, so a failed
+	// call never mutates the caller's slice.
+	for i := e.k; i < e.n; i++ {
+		if len(shards[i]) != 0 && len(shards[i]) != size {
+			return fmt.Errorf("%w: parity shard %d has size %d, want %d", ErrShardSize, i, len(shards[i]), size)
+		}
+	}
+	for i := e.k; i < e.n; i++ {
+		if len(shards[i]) == 0 {
+			shards[i] = make([]byte, size)
+		}
+	}
+	coeffs := make([][]byte, e.n-e.k)
+	for i := range coeffs {
+		coeffs[i] = e.gen.Row(e.k + i)
+	}
+	e.codeStriped(coeffs, shards[:e.k], shards[e.k:], size)
+	return nil
+}
+
+// Verify recomputes the parity shards and reports whether they match.
+// All n shards must be present with equal size.
+func (e *Encoder) Verify(shards [][]byte) (bool, error) {
+	if len(shards) != e.n {
+		return false, fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), e.n)
+	}
+	size, err := e.dataSize(shards)
+	if err != nil {
+		return false, err
+	}
+	for i := e.k; i < e.n; i++ {
+		if len(shards[i]) != size {
+			return false, fmt.Errorf("%w: parity shard %d has size %d, want %d", ErrShardSize, i, len(shards[i]), size)
+		}
+	}
+	np := e.n - e.k
+	if np == 0 {
+		return true, nil
+	}
+	// Recompute parity in bounded chunks so a mismatch exits early and
+	// the scratch allocation stays constant regardless of shard size.
+	chunk := verifyChunk
+	if chunk > size {
+		chunk = size
+	}
+	scratch := make([][]byte, np)
+	coeffs := make([][]byte, np)
+	buf := make([]byte, np*chunk)
+	for i := range scratch {
+		scratch[i] = buf[i*chunk : (i+1)*chunk]
+		coeffs[i] = e.gen.Row(e.k + i)
+	}
+	inputs := make([][]byte, e.k)
+	outputs := make([][]byte, np)
+	for lo := 0; lo < size; lo += chunk {
+		hi := lo + chunk
+		if hi > size {
+			hi = size
+		}
+		for j := 0; j < e.k; j++ {
+			inputs[j] = shards[j][lo:hi]
+		}
+		for i := range outputs {
+			outputs[i] = scratch[i][:hi-lo]
+		}
+		codeRange(coeffs, inputs, outputs, 0, hi-lo)
+		for i, p := range outputs {
+			if !bytes.Equal(p, shards[e.k+i][lo:hi]) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// verifyChunk bounds Verify's scratch buffer per parity shard.
+const verifyChunk = 64 << 10
+
+// Reconstruct recomputes every missing shard (nil or empty entries) in
+// place, data and parity alike. At least k shards must be present, and
+// all present shards must have equal size.
+func (e *Encoder) Reconstruct(shards [][]byte) error {
+	return e.reconstruct(shards, false)
+}
+
+// ReconstructData recomputes only the missing data shards
+// shards[0..k-1], leaving missing parity shards untouched. This is the
+// read-repair fast path: a SODA read needs the value, not the parity.
+func (e *Encoder) ReconstructData(shards [][]byte) error {
+	return e.reconstruct(shards, true)
+}
+
+func (e *Encoder) reconstruct(shards [][]byte, dataOnly bool) error {
+	if len(shards) != e.n {
+		return fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), e.n)
+	}
+	size := -1
+	present := make([]int, 0, e.n)
+	for i, s := range shards {
+		if len(s) == 0 {
+			continue
+		}
+		if size < 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("%w: shard %d has size %d, want %d", ErrShardSize, i, len(s), size)
+		}
+		present = append(present, i)
+	}
+	if len(present) < e.k {
+		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(present), e.k)
+	}
+
+	// Nothing missing that we are asked to repair?
+	missingData := make([]int, 0, e.k)
+	for i := 0; i < e.k; i++ {
+		if len(shards[i]) == 0 {
+			missingData = append(missingData, i)
+		}
+	}
+	missingParity := make([]int, 0, e.n-e.k)
+	if !dataOnly {
+		for i := e.k; i < e.n; i++ {
+			if len(shards[i]) == 0 {
+				missingParity = append(missingParity, i)
+			}
+		}
+	}
+	if len(missingData) == 0 && len(missingParity) == 0 {
+		return nil
+	}
+
+	if len(missingData) > 0 {
+		// Decode the missing data rows from the first k survivors.
+		chosen := present[:e.k]
+		dec, err := e.decodeMatrix(chosen)
+		if err != nil {
+			return err
+		}
+		inputs := make([][]byte, e.k)
+		for i, idx := range chosen {
+			inputs[i] = shards[idx]
+		}
+		outputs := make([][]byte, len(missingData))
+		coeffs := make([][]byte, len(missingData))
+		for i, idx := range missingData {
+			shards[idx] = make([]byte, size)
+			outputs[i] = shards[idx]
+			coeffs[i] = dec.Row(idx)
+		}
+		e.codeStriped(coeffs, inputs, outputs, size)
+	}
+
+	if len(missingParity) > 0 {
+		// All data shards are present now; re-encode missing parity.
+		outputs := make([][]byte, len(missingParity))
+		coeffs := make([][]byte, len(missingParity))
+		for i, idx := range missingParity {
+			shards[idx] = make([]byte, size)
+			outputs[i] = shards[idx]
+			coeffs[i] = e.gen.Row(idx)
+		}
+		e.codeStriped(coeffs, shards[:e.k], outputs, size)
+	}
+	return nil
+}
+
+// decodeMatrix returns the inverse of the k x k sub-generator selected
+// by the (sorted, distinct) surviving shard indices, consulting the LRU
+// cache first.
+func (e *Encoder) decodeMatrix(chosen []int) (*matrix.Matrix, error) {
+	var key shardKey
+	for _, idx := range chosen {
+		key[idx>>6] |= 1 << (idx & 63)
+	}
+	if e.cache != nil {
+		if m, ok := e.cache.get(key); ok {
+			return m, nil
+		}
+	}
+	sub := e.gen.SubMatrix(chosen)
+	dec, err := sub.Invert()
+	if err != nil {
+		return nil, fmt.Errorf("rs: decode matrix for shards %v: %w", chosen, err)
+	}
+	if e.cache != nil {
+		e.cache.put(key, dec)
+	}
+	return dec, nil
+}
+
+// CacheStats reports decode-matrix cache hits, misses, and the current
+// number of cached inverses. All zeros when caching is disabled.
+func (e *Encoder) CacheStats() (hits, misses uint64, entries int) {
+	if e.cache == nil {
+		return 0, 0, 0
+	}
+	return e.cache.stats()
+}
+
+// dataSize validates that shards[0..k-1] are present with equal size
+// and returns that size.
+func (e *Encoder) dataSize(shards [][]byte) (int, error) {
+	size := len(shards[0])
+	if size == 0 {
+		return 0, fmt.Errorf("%w: data shard 0 is missing or empty", ErrShardSize)
+	}
+	for i := 1; i < e.k; i++ {
+		if len(shards[i]) != size {
+			return 0, fmt.Errorf("%w: data shard %d has size %d, want %d", ErrShardSize, i, len(shards[i]), size)
+		}
+	}
+	return size, nil
+}
+
+// codeStriped computes outputs[o] = sum_j coeffs[o][j] * inputs[j] over
+// the byte range [0, size), striping across goroutines when the shards
+// are large enough.
+func (e *Encoder) codeStriped(coeffs, inputs, outputs [][]byte, size int) {
+	if len(outputs) == 0 {
+		return
+	}
+	if e.conc <= 1 || size < e.stripeMin {
+		codeRange(coeffs, inputs, outputs, 0, size)
+		return
+	}
+	// 64-byte aligned stripes, one per worker.
+	chunk := (size + e.conc - 1) / e.conc
+	chunk = (chunk + 63) &^ 63
+	var wg sync.WaitGroup
+	for lo := 0; lo < size; lo += chunk {
+		hi := lo + chunk
+		if hi > size {
+			hi = size
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			codeRange(coeffs, inputs, outputs, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// codeRange is the sequential core of codeStriped for one byte range.
+func codeRange(coeffs, inputs, outputs [][]byte, lo, hi int) {
+	for o, out := range outputs {
+		cr := coeffs[o]
+		gf256.MulSlice(cr[0], out[lo:hi], inputs[0][lo:hi])
+		for j := 1; j < len(inputs); j++ {
+			gf256.MulAddSlice(cr[j], out[lo:hi], inputs[j][lo:hi])
+		}
+	}
+}

@@ -1,0 +1,395 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+var shapes = []struct{ n, k int }{
+	{5, 3},  // SODA's running example scale
+	{9, 5},
+	{14, 10},
+	{8, 3},  // n >= 2k: allows parity-only survivor sets
+	{1, 1},  // degenerate replication-free code
+	{4, 4},  // no parity at all
+}
+
+func makeShards(t *testing.T, rng *rand.Rand, e *Encoder, size int) [][]byte {
+	t.Helper()
+	shards := make([][]byte, e.N())
+	for i := 0; i < e.K(); i++ {
+		shards[i] = make([]byte, size)
+		rng.Read(shards[i])
+	}
+	if err := e.Encode(shards); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return shards
+}
+
+func cloneShards(shards [][]byte) [][]byte {
+	out := make([][]byte, len(shards))
+	for i, s := range shards {
+		if s != nil {
+			out[i] = append([]byte(nil), s...)
+		}
+	}
+	return out
+}
+
+// TestRoundTripAllErasurePatterns encodes, drops every possible set of
+// up to n-k shards (exhaustively for small shapes), reconstructs, and
+// compares — including survivor sets that are parity-only.
+func TestRoundTripAllErasurePatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, sh := range shapes {
+		e, err := New(sh.n, sh.k)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", sh.n, sh.k, err)
+		}
+		orig := makeShards(t, rng, e, 257) // odd size to hit kernel tails
+		// Iterate over all erasure masks with <= n-k dropped shards.
+		for mask := 0; mask < 1<<sh.n; mask++ {
+			dropped := 0
+			for b := mask; b != 0; b >>= 1 {
+				dropped += b & 1
+			}
+			if dropped > sh.n-sh.k {
+				continue
+			}
+			got := cloneShards(orig)
+			for i := 0; i < sh.n; i++ {
+				if mask&(1<<i) != 0 {
+					got[i] = nil
+				}
+			}
+			if err := e.Reconstruct(got); err != nil {
+				t.Fatalf("[%d,%d] mask %b: Reconstruct: %v", sh.n, sh.k, mask, err)
+			}
+			for i := range orig {
+				if !bytes.Equal(got[i], orig[i]) {
+					t.Fatalf("[%d,%d] mask %b: shard %d mismatch", sh.n, sh.k, mask, i)
+				}
+			}
+		}
+	}
+}
+
+// TestParityOnlySurvivors drops every data shard of an [8,3] code and
+// recovers the data purely from parity.
+func TestParityOnlySurvivors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e, err := New(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := makeShards(t, rng, e, 1024)
+	got := cloneShards(orig)
+	got[0], got[1], got[2] = nil, nil, nil
+	got[3], got[4] = nil, nil // 5 erasures = n-k
+	if err := e.Reconstruct(got); err != nil {
+		t.Fatalf("Reconstruct from parity-only survivors: %v", err)
+	}
+	for i := range orig {
+		if !bytes.Equal(got[i], orig[i]) {
+			t.Fatalf("shard %d mismatch", i)
+		}
+	}
+}
+
+func TestReconstructDataLeavesParityMissing(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e, err := New(9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := makeShards(t, rng, e, 512)
+	got := cloneShards(orig)
+	got[1] = nil // data
+	got[7] = nil // parity
+	if err := e.ReconstructData(got); err != nil {
+		t.Fatalf("ReconstructData: %v", err)
+	}
+	if !bytes.Equal(got[1], orig[1]) {
+		t.Fatal("data shard 1 not recovered")
+	}
+	if got[7] != nil {
+		t.Fatal("ReconstructData must not touch parity shards")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	e, err := New(9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := makeShards(t, rng, e, 512)
+	ok, err := e.Verify(shards)
+	if err != nil || !ok {
+		t.Fatalf("Verify on intact shards = (%v, %v), want (true, nil)", ok, err)
+	}
+	shards[6][100] ^= 0xA5
+	ok, err = e.Verify(shards)
+	if err != nil || ok {
+		t.Fatalf("Verify on corrupted parity = (%v, %v), want (false, nil)", ok, err)
+	}
+	shards[6][100] ^= 0xA5
+	shards[2][0] ^= 1 // corrupt data: parity no longer matches
+	ok, err = e.Verify(shards)
+	if err != nil || ok {
+		t.Fatalf("Verify on corrupted data = (%v, %v), want (false, nil)", ok, err)
+	}
+}
+
+func TestSystematicPrefixIsData(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([][]byte, 3)
+	shards := make([][]byte, 5)
+	for i := range data {
+		data[i] = make([]byte, 64)
+		rng.Read(data[i])
+		shards[i] = append([]byte(nil), data[i]...)
+	}
+	if err := e.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !bytes.Equal(shards[i], data[i]) {
+			t.Fatalf("systematic code must leave data shard %d untouched", i)
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	if _, err := New(3, 5); !errors.Is(err, ErrInvalidShape) {
+		t.Fatalf("New(3,5) = %v, want ErrInvalidShape", err)
+	}
+	if _, err := New(300, 5); !errors.Is(err, ErrInvalidShape) {
+		t.Fatalf("New(300,5) = %v, want ErrInvalidShape", err)
+	}
+	if _, err := New(5, 0); !errors.Is(err, ErrInvalidShape) {
+		t.Fatalf("New(5,0) = %v, want ErrInvalidShape", err)
+	}
+	if _, err := New(5, 3, WithConcurrency(0)); !errors.Is(err, ErrInvalidOption) {
+		t.Fatal("WithConcurrency(0) must be rejected")
+	}
+	if _, err := New(5, 3, WithCacheSize(-1)); !errors.Is(err, ErrInvalidOption) {
+		t.Fatal("WithCacheSize(-1) must be rejected")
+	}
+	if _, err := New(5, 3, WithStripeThreshold(-1)); !errors.Is(err, ErrInvalidOption) {
+		t.Fatal("WithStripeThreshold(-1) must be rejected")
+	}
+
+	e, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Encode(make([][]byte, 4)); !errors.Is(err, ErrShardCount) {
+		t.Fatalf("Encode with 4 shards = %v, want ErrShardCount", err)
+	}
+	if err := e.Reconstruct(make([][]byte, 6)); !errors.Is(err, ErrShardCount) {
+		t.Fatalf("Reconstruct with 6 shards = %v, want ErrShardCount", err)
+	}
+	if _, err := e.Verify(make([][]byte, 4)); !errors.Is(err, ErrShardCount) {
+		t.Fatalf("Verify with 4 shards = %v, want ErrShardCount", err)
+	}
+
+	shards := [][]byte{make([]byte, 8), make([]byte, 8), make([]byte, 9), nil, nil}
+	if err := e.Encode(shards); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("Encode with ragged data = %v, want ErrShardSize", err)
+	}
+	shards = [][]byte{nil, make([]byte, 8), make([]byte, 8), nil, nil}
+	if err := e.Encode(shards); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("Encode with missing data = %v, want ErrShardSize", err)
+	}
+	shards = [][]byte{make([]byte, 8), make([]byte, 8), make([]byte, 8), make([]byte, 7), nil}
+	if err := e.Encode(shards); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("Encode with short parity = %v, want ErrShardSize", err)
+	}
+
+	// Too few survivors.
+	shards = make([][]byte, 5)
+	shards[0] = make([]byte, 8)
+	shards[4] = make([]byte, 8)
+	if err := e.Reconstruct(shards); !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("Reconstruct with 2 of 3 = %v, want ErrTooFewShards", err)
+	}
+	// Ragged survivors.
+	shards[3] = make([]byte, 9)
+	if err := e.Reconstruct(shards); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("Reconstruct with ragged survivors = %v, want ErrShardSize", err)
+	}
+}
+
+// TestSingularDecodeMatrix doctors the generator so a survivor set
+// selects a singular sub-matrix, and checks the error surfaces as
+// matrix.ErrSingular rather than a panic or silent corruption.
+func TestSingularDecodeMatrix(t *testing.T) {
+	e, err := New(4, 2, WithCacheSize(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make generator row 2 a duplicate of row 0: survivors {0, 2} now
+	// select a singular 2x2 sub-generator.
+	copy(e.gen.Row(2), e.gen.Row(0))
+	shards := [][]byte{make([]byte, 8), nil, make([]byte, 8), nil}
+	if err := e.Reconstruct(shards); !errors.Is(err, matrix.ErrSingular) {
+		t.Fatalf("Reconstruct with singular sub-generator = %v, want ErrSingular", err)
+	}
+}
+
+func TestDecodeMatrixCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	e, err := New(9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := makeShards(t, rng, e, 128)
+
+	drop := func(idx ...int) [][]byte {
+		s := cloneShards(orig)
+		for _, i := range idx {
+			s[i] = nil
+		}
+		return s
+	}
+
+	for i := 0; i < 3; i++ {
+		if err := e.Reconstruct(drop(0, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses, entries := e.CacheStats()
+	if misses != 1 || hits != 2 || entries != 1 {
+		t.Fatalf("after 3 identical failure patterns: hits=%d misses=%d entries=%d, want 2/1/1", hits, misses, entries)
+	}
+	if err := e.Reconstruct(drop(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, entries = e.CacheStats()
+	if misses != 2 || hits != 2 || entries != 2 {
+		t.Fatalf("after a second pattern: hits=%d misses=%d entries=%d, want 2/2/2", hits, misses, entries)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e, err := New(9, 5, WithCacheSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := makeShards(t, rng, e, 64)
+	for round := 0; round < 2; round++ {
+		for _, i := range []int{0, 1} {
+			s := cloneShards(orig)
+			s[i] = nil
+			if err := e.Reconstruct(s); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(s[i], orig[i]) {
+				t.Fatalf("shard %d mismatch after eviction churn", i)
+			}
+		}
+	}
+	hits, misses, entries := e.CacheStats()
+	if entries != 1 {
+		t.Fatalf("cache of size 1 holds %d entries", entries)
+	}
+	// Alternating patterns with capacity 1 can never hit.
+	if hits != 0 || misses != 4 {
+		t.Fatalf("hits=%d misses=%d, want 0/4", hits, misses)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	e, err := New(5, 3, WithCacheSize(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := makeShards(t, rng, e, 64)
+	s := cloneShards(orig)
+	s[0] = nil
+	if err := e.Reconstruct(s); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, entries := e.CacheStats(); hits != 0 || misses != 0 || entries != 0 {
+		t.Fatal("disabled cache must report zero stats")
+	}
+}
+
+// TestStripedMatchesSequential checks that parallel striping produces
+// byte-identical output to the single-goroutine path, on sizes that do
+// not divide evenly into stripes.
+func TestStripedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	seq, err := New(9, 5, WithConcurrency(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(9, 5, WithConcurrency(7), WithStripeThreshold(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{100, 1023, 100_003} {
+		data := make([][]byte, 9)
+		for i := 0; i < 5; i++ {
+			data[i] = make([]byte, size)
+			rng.Read(data[i])
+		}
+		a := cloneShards(data)
+		b := cloneShards(data)
+		if err := seq.Encode(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.Encode(b); err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if !bytes.Equal(a[i], b[i]) {
+				t.Fatalf("size %d: striped parity shard %d differs from sequential", size, i)
+			}
+		}
+		// Same check through reconstruction.
+		a[0], a[6] = nil, nil
+		b[0], b[6] = nil, nil
+		if err := seq.Reconstruct(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.Reconstruct(b); err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if !bytes.Equal(a[i], b[i]) {
+				t.Fatalf("size %d: striped reconstruction shard %d differs", size, i)
+			}
+		}
+	}
+}
+
+func TestReconstructNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	e, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := makeShards(t, rng, e, 64)
+	want := cloneShards(shards)
+	if err := e.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(shards[i], want[i]) {
+			t.Fatal("Reconstruct with nothing missing must not alter shards")
+		}
+	}
+}
