@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench race
+.PHONY: all build test vet bench bench-smoke race
 
 all: vet build test
 
@@ -14,4 +14,11 @@ vet:
 	$(GO) vet ./...
 
 bench:
-	$(GO) test -run '^$$' -bench 'MulAddSlice|MulSlice|Encode|Reconstruct|Verify' -benchmem ./internal/gf256/ ./internal/rs/
+	$(GO) test -run '^$$' -bench 'MulAddSlice|MulSlice|MulAddMulti|Encode|Reconstruct|Verify' -benchmem ./internal/gf256/ ./internal/rs/
+
+# bench-smoke compiles and runs every benchmark a fixed 10 iterations on
+# both the SIMD and purego kernel ladders: a CI-friendly check that the
+# benchmark suite itself stays healthy, with no performance gating.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=10x ./internal/gf256/ ./internal/rs/
+	$(GO) test -tags purego -run '^$$' -bench . -benchtime=10x ./internal/gf256/ ./internal/rs/

@@ -97,11 +97,111 @@ func BenchmarkVerify(b *testing.B) {
 	}
 	shards := benchShards(b, e, 64<<10)
 	b.SetBytes(int64(5 * (64 << 10)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ok, err := e.Verify(shards)
 		if err != nil || !ok {
 			b.Fatal("verify failed")
 		}
+	}
+}
+
+// BenchmarkEncodeInto is the steady-state write path: parity buffers
+// preallocated, so the op must report 0 allocs.
+func BenchmarkEncodeInto(b *testing.B) {
+	for _, sh := range benchShapes {
+		for _, sz := range benchSizes {
+			b.Run(fmt.Sprintf("n%dk%d/%s", sh.n, sh.k, sz.name), func(b *testing.B) {
+				e, err := New(sh.n, sh.k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				shards := benchShards(b, e, sz.size)
+				b.SetBytes(int64(sh.k * sz.size))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := e.EncodeInto(shards); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkReconstructInto is the steady-state repair path: a stable
+// failure pattern (the first n-k shards, i.e. data shards for these
+// shapes, so it measures survivor decode with a warm decode-matrix
+// cache) repaired into caller-supplied buffers, so the op must report
+// 0 allocs.
+func BenchmarkReconstructInto(b *testing.B) {
+	for _, sh := range benchShapes {
+		for _, sz := range benchSizes {
+			b.Run(fmt.Sprintf("n%dk%d/%s", sh.n, sh.k, sz.name), func(b *testing.B) {
+				e, err := New(sh.n, sh.k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				shards := benchShards(b, e, sz.size)
+				nrepair := sh.n - sh.k
+				if nrepair == 0 {
+					b.Skip("nothing to erase: n == k")
+				}
+				b.SetBytes(int64(nrepair * sz.size))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := 0; j < nrepair; j++ {
+						shards[j] = shards[j][:0] // erase, keep capacity
+					}
+					if err := e.ReconstructInto(shards); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEncodeParallel is the concurrent-encoder throughput
+// harness: many goroutines share one Encoder (as one storage node's
+// write path would), each encoding its own shard set at a realistic
+// shard size. Contention here is on the worker pool, pooled scratch,
+// and kernel tables, not the data.
+func BenchmarkEncodeParallel(b *testing.B) {
+	for _, sz := range []struct {
+		name string
+		size int
+	}{
+		{"64KiB", 64 << 10},
+		{"1MiB", 1 << 20},
+	} {
+		b.Run(fmt.Sprintf("n14k10/%s", sz.name), func(b *testing.B) {
+			e, err := New(14, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(10 * sz.size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(7))
+				shards := make([][]byte, 14)
+				for i := 0; i < 14; i++ {
+					shards[i] = make([]byte, sz.size)
+					if i < 10 {
+						rng.Read(shards[i])
+					}
+				}
+				for pb.Next() {
+					if err := e.EncodeInto(shards); err != nil {
+						b.Error(err) // Fatal must not be called off the benchmark goroutine
+						return
+					}
+				}
+			})
+		})
 	}
 }

@@ -1,8 +1,8 @@
 package rs
 
 import (
-	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/matrix"
 )
@@ -11,63 +11,85 @@ import (
 // matrix was inverted for. 256 bits covers the maximum code length.
 type shardKey [4]uint64
 
-// matrixCache is a bounded LRU of inverted decode matrices. In steady
-// state a cluster has a stable failure pattern — the same servers are
-// slow or dead across many reads — so the same k x k inversion would
-// otherwise be redone on every reconstruction.
+// matrixCache is a bounded cache of inverted decode matrices with
+// approximate-LRU eviction. In steady state a cluster has a stable
+// failure pattern — the same servers are slow or dead across many
+// reads — so the same k x k inversion would otherwise be redone on
+// every reconstruction.
+//
+// The cache is read-mostly by construction, so the hit path takes only
+// a shared RLock for the map lookup plus two atomic stores: concurrent
+// readers with a stable failure pattern never serialize on a writer
+// lock. Recency is a per-entry atomic clock tick rather than a linked
+// list (a list's MoveToFront would need the write lock on every hit);
+// eviction scans for the minimum tick, which is fine because the cache
+// is small (default 64 entries) and misses already pay an O(k^3)
+// inversion.
 type matrixCache struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	cap     int
-	entries map[shardKey]*list.Element
-	order   *list.List // front is most recently used
-	hits    uint64
-	misses  uint64
+	entries map[shardKey]*cacheEntry
+	clock   atomic.Uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
 }
 
 type cacheEntry struct {
-	key shardKey
-	m   *matrix.Matrix
+	key  shardKey
+	m    *matrix.Matrix
+	used atomic.Uint64
 }
 
 func newMatrixCache(capacity int) *matrixCache {
 	return &matrixCache{
 		cap:     capacity,
-		entries: make(map[shardKey]*list.Element, capacity),
-		order:   list.New(),
+		entries: make(map[shardKey]*cacheEntry, capacity),
 	}
 }
 
 func (c *matrixCache) get(key shardKey) (*matrix.Matrix, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		c.misses++
+	c.mu.RLock()
+	e := c.entries[key]
+	var m *matrix.Matrix
+	if e != nil {
+		m = e.m // read under the lock: put may replace it
+	}
+	c.mu.RUnlock()
+	if e == nil {
+		c.misses.Add(1)
 		return nil, false
 	}
-	c.hits++
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).m, true
+	e.used.Store(c.clock.Add(1))
+	c.hits.Add(1)
+	return m, true
 }
 
 func (c *matrixCache) put(key shardKey, m *matrix.Matrix) {
+	tick := c.clock.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		el.Value.(*cacheEntry).m = m
+	if e, ok := c.entries[key]; ok {
+		e.m = m
+		e.used.Store(tick)
 		return
 	}
-	for c.order.Len() >= c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	for len(c.entries) >= c.cap {
+		var victim *cacheEntry
+		for _, e := range c.entries {
+			if victim == nil || e.used.Load() < victim.used.Load() {
+				victim = e
+			}
+		}
+		delete(c.entries, victim.key)
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, m: m})
+	e := &cacheEntry{key: key, m: m}
+	e.used.Store(tick)
+	c.entries[key] = e
 }
 
 func (c *matrixCache) stats() (hits, misses uint64, entries int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.order.Len()
+	c.mu.RLock()
+	entries = len(c.entries)
+	c.mu.RUnlock()
+	return c.hits.Load(), c.misses.Load(), entries
 }

@@ -11,17 +11,26 @@
 //
 // Performance structure, innermost to outermost:
 //
-//   - gf256 table kernel: MulSlice/MulAddSlice are one indexed load per
-//     byte from a per-coefficient 256-byte product row (see
+//   - gf256 fused kernels: MulMulti/MulAddMulti accumulate all k
+//     inputs into a register-resident output block in one pass, on the
+//     best of the GFNI -> AVX2 -> table dispatch ladder (see
 //     gf256/kernel.go).
+//   - tiling: byte ranges are cut so the k input blocks stay in L2
+//     while every output is computed for that range (see pool.go).
 //   - decode-matrix cache: reconstruction after a given failure pattern
 //     needs the inverse of the k x k sub-generator chosen by the
-//     surviving shards; the inverse is cached in a bounded LRU keyed by
-//     the survivor bitmask, so a stable failure pattern pays the O(k^3)
-//     inversion once.
-//   - striping: above a size threshold, shards are split into 64-byte
-//     aligned stripes coded concurrently on up to WithConcurrency
-//     goroutines (default runtime.GOMAXPROCS).
+//     surviving shards; the inverse is cached in a bounded
+//     approximate-LRU keyed by the survivor bitmask, so a stable
+//     failure pattern pays the O(k^3) inversion once, and concurrent
+//     readers share it under an RLock.
+//   - striping: above a size threshold, stripes are spread over the
+//     Encoder's reusable worker pool (up to WithConcurrency goroutines,
+//     default runtime.GOMAXPROCS).
+//
+// The steady-state entry points — EncodeInto, ReconstructInto, Verify,
+// and Encode/Reconstruct with pre-allocated targets — perform no heap
+// allocations: coefficients are precomputed, and call scratch is
+// recycled through sync.Pools.
 package rs
 
 import (
@@ -49,6 +58,9 @@ var (
 	// ErrTooFewShards is returned by Reconstruct when fewer than k
 	// shards are present.
 	ErrTooFewShards = errors.New("rs: too few shards to reconstruct")
+	// ErrParityMismatch wraps Verify's report of the first parity
+	// shard that does not match the data shards.
+	ErrParityMismatch = errors.New("rs: parity mismatch")
 )
 
 // Encoder is a reusable [n, k] systematic Reed-Solomon codec. It is
@@ -57,9 +69,17 @@ type Encoder struct {
 	n, k int
 	gen  *matrix.Matrix // n x k systematic generator (top k rows = I)
 
+	// parityCoeffs[i] is generator row k+i: the coefficients of parity
+	// shard k+i. Precomputed so Encode/Verify never allocate them.
+	parityCoeffs [][]byte
+
 	conc      int // max goroutines per striped operation
 	stripeMin int // minimum shard size before striping kicks in
 	cache     *matrixCache
+	pool      *workerPool // nil when conc == 1
+
+	scratch    sync.Pool // *codecScratch
+	verscratch sync.Pool // *verifyScratch
 }
 
 // Option configures an Encoder.
@@ -136,6 +156,14 @@ func New(n, k int, opts ...Option) (*Encoder, error) {
 			return nil, err
 		}
 	}
+	e.parityCoeffs = make([][]byte, n-k)
+	for i := range e.parityCoeffs {
+		e.parityCoeffs[i] = gen.Row(k + i)
+	}
+	if e.conc > 1 {
+		e.pool = newWorkerPool(e.conc - 1)
+		runtime.SetFinalizer(e, (*Encoder).Close)
+	}
 	return e, nil
 }
 
@@ -145,11 +173,22 @@ func (e *Encoder) N() int { return e.n }
 // K returns the number of data shards.
 func (e *Encoder) K() int { return e.k }
 
+// Close stops the Encoder's background coding workers, if any were
+// started. Calling it is optional — an unreachable Encoder's workers
+// are stopped by a finalizer — and idempotent, but it must not overlap
+// in-flight coding calls. The Encoder stays usable afterwards; striped
+// work just runs on the calling goroutine.
+func (e *Encoder) Close() {
+	if e.pool != nil {
+		e.pool.close()
+	}
+}
+
 // Encode fills the parity shards shards[k..n-1] from the data shards
 // shards[0..k-1]. Data shards must all be present with equal size.
 // Parity shards may be missing (nil or zero length, matching
 // Reconstruct's convention; they are allocated) or preallocated at the
-// data size.
+// data size, in which case the call does not allocate.
 func (e *Encoder) Encode(shards [][]byte) error {
 	if len(shards) != e.n {
 		return fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), e.n)
@@ -170,16 +209,35 @@ func (e *Encoder) Encode(shards [][]byte) error {
 			shards[i] = make([]byte, size)
 		}
 	}
-	coeffs := make([][]byte, e.n-e.k)
-	for i := range coeffs {
-		coeffs[i] = e.gen.Row(e.k + i)
+	e.codeStriped(e.parityCoeffs, shards[:e.k], shards[e.k:], size)
+	return nil
+}
+
+// EncodeInto is the steady-state form of Encode: every parity shard
+// must already be allocated at the data size, and the call performs no
+// heap allocation.
+func (e *Encoder) EncodeInto(shards [][]byte) error {
+	if len(shards) != e.n {
+		return fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), e.n)
 	}
-	e.codeStriped(coeffs, shards[:e.k], shards[e.k:], size)
+	size, err := e.dataSize(shards)
+	if err != nil {
+		return err
+	}
+	for i := e.k; i < e.n; i++ {
+		if len(shards[i]) != size {
+			return fmt.Errorf("%w: parity shard %d has size %d, want %d (EncodeInto needs preallocated parity)", ErrShardSize, i, len(shards[i]), size)
+		}
+	}
+	e.codeStriped(e.parityCoeffs, shards[:e.k], shards[e.k:], size)
 	return nil
 }
 
 // Verify recomputes the parity shards and reports whether they match.
-// All n shards must be present with equal size.
+// All n shards must be present with equal size. On a mismatch it
+// returns false together with an ErrParityMismatch identifying the
+// first mismatching parity shard (lowest byte range, then lowest
+// index); the match path performs no heap allocation.
 func (e *Encoder) Verify(shards [][]byte) (bool, error) {
 	if len(shards) != e.n {
 		return false, fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), e.n)
@@ -198,35 +256,30 @@ func (e *Encoder) Verify(shards [][]byte) (bool, error) {
 		return true, nil
 	}
 	// Recompute parity in bounded chunks so a mismatch exits early and
-	// the scratch allocation stays constant regardless of shard size.
+	// the pooled scratch stays constant regardless of shard size.
 	chunk := verifyChunk
 	if chunk > size {
 		chunk = size
 	}
-	scratch := make([][]byte, np)
-	coeffs := make([][]byte, np)
-	buf := make([]byte, np*chunk)
-	for i := range scratch {
-		scratch[i] = buf[i*chunk : (i+1)*chunk]
-		coeffs[i] = e.gen.Row(e.k + i)
-	}
-	inputs := make([][]byte, e.k)
-	outputs := make([][]byte, np)
+	vs := e.getVerifyScratch(np * chunk)
+	defer e.putVerifyScratch(vs)
+	buf := vs.buf[:np*chunk]
 	for lo := 0; lo < size; lo += chunk {
 		hi := lo + chunk
 		if hi > size {
 			hi = size
 		}
+		m := hi - lo
 		for j := 0; j < e.k; j++ {
-			inputs[j] = shards[j][lo:hi]
+			vs.ins[j] = shards[j][lo:hi]
 		}
-		for i := range outputs {
-			outputs[i] = scratch[i][:hi-lo]
+		for i := 0; i < np; i++ {
+			vs.outs[i] = buf[i*chunk : i*chunk+m]
 		}
-		codeRange(coeffs, inputs, outputs, 0, hi-lo)
-		for i, p := range outputs {
-			if !bytes.Equal(p, shards[e.k+i][lo:hi]) {
-				return false, nil
+		codeRange(e.parityCoeffs, vs.ins, vs.outs, 0, m)
+		for i := 0; i < np; i++ {
+			if !bytes.Equal(vs.outs[i], shards[e.k+i][lo:hi]) {
+				return false, fmt.Errorf("%w: parity shard %d (detected in bytes [%d, %d))", ErrParityMismatch, e.k+i, lo, hi)
 			}
 		}
 	}
@@ -237,90 +290,207 @@ func (e *Encoder) Verify(shards [][]byte) (bool, error) {
 const verifyChunk = 64 << 10
 
 // Reconstruct recomputes every missing shard (nil or empty entries) in
-// place, data and parity alike. At least k shards must be present, and
-// all present shards must have equal size.
+// place, data and parity alike, allocating buffers for them. At least
+// k shards must be present, and all present shards must have equal
+// size.
 func (e *Encoder) Reconstruct(shards [][]byte) error {
-	return e.reconstruct(shards, false)
+	return e.reconstruct(shards, false, false)
 }
 
 // ReconstructData recomputes only the missing data shards
 // shards[0..k-1], leaving missing parity shards untouched. This is the
 // read-repair fast path: a SODA read needs the value, not the parity.
 func (e *Encoder) ReconstructData(shards [][]byte) error {
-	return e.reconstruct(shards, true)
+	return e.reconstruct(shards, true, false)
 }
 
-func (e *Encoder) reconstruct(shards [][]byte, dataOnly bool) error {
+// ReconstructInto is the steady-state, allocation-free form of
+// Reconstruct. A shard to repair is passed as a zero-length slice with
+// capacity of at least the shard size (for example buf[:0]); it is
+// resliced to the shard size in place and filled. nil entries are
+// treated as absent and left untouched, so the caller chooses exactly
+// which shards to repair and supplies the memory.
+func (e *Encoder) ReconstructInto(shards [][]byte) error {
+	return e.reconstruct(shards, false, true)
+}
+
+// codecScratch recycles the per-call bookkeeping of reconstruct.
+type codecScratch struct {
+	present    []int
+	missData   []int
+	missParity []int
+	inputs     [][]byte
+	outputs    [][]byte
+	coeffs     [][]byte
+	coefbuf    []byte // composed coefficient rows for survivor-direct parity
+}
+
+func (e *Encoder) getScratch() *codecScratch {
+	s, _ := e.scratch.Get().(*codecScratch)
+	if s == nil {
+		s = &codecScratch{
+			present:    make([]int, 0, e.n),
+			missData:   make([]int, 0, e.k),
+			missParity: make([]int, 0, e.n-e.k+1),
+			inputs:     make([][]byte, e.k),
+			coefbuf:    make([]byte, (e.n-e.k)*e.k),
+			outputs:    make([][]byte, 0, e.n),
+			coeffs:     make([][]byte, 0, e.n),
+		}
+	}
+	return s
+}
+
+func (e *Encoder) putScratch(s *codecScratch) {
+	clearRefs := func(v [][]byte) [][]byte {
+		v = v[:cap(v)]
+		for i := range v {
+			v[i] = nil // do not pin shard memory from the pool
+		}
+		return v[:0]
+	}
+	s.inputs = clearRefs(s.inputs)[:cap(s.inputs)]
+	s.outputs = clearRefs(s.outputs)
+	s.coeffs = clearRefs(s.coeffs)
+	e.scratch.Put(s)
+}
+
+func (e *Encoder) reconstruct(shards [][]byte, dataOnly, into bool) error {
 	if len(shards) != e.n {
 		return fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), e.n)
 	}
+	s := e.getScratch()
+	defer e.putScratch(s)
+
 	size := -1
-	present := make([]int, 0, e.n)
-	for i, s := range shards {
-		if len(s) == 0 {
+	s.present = s.present[:0]
+	for i, sh := range shards {
+		if len(sh) == 0 {
 			continue
 		}
 		if size < 0 {
-			size = len(s)
-		} else if len(s) != size {
-			return fmt.Errorf("%w: shard %d has size %d, want %d", ErrShardSize, i, len(s), size)
+			size = len(sh)
+		} else if len(sh) != size {
+			return fmt.Errorf("%w: shard %d has size %d, want %d", ErrShardSize, i, len(sh), size)
 		}
-		present = append(present, i)
+		s.present = append(s.present, i)
 	}
-	if len(present) < e.k {
-		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(present), e.k)
+	if len(s.present) < e.k {
+		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(s.present), e.k)
 	}
 
-	// Nothing missing that we are asked to repair?
-	missingData := make([]int, 0, e.k)
-	for i := 0; i < e.k; i++ {
-		if len(shards[i]) == 0 {
-			missingData = append(missingData, i)
+	// Collect repair targets. In into mode a target is a non-nil
+	// zero-length entry whose capacity the caller sized for us; nil
+	// means "absent, do not repair". Otherwise any empty entry is a
+	// target (parity only when !dataOnly).
+	repairable := func(i int) bool {
+		if into {
+			return shards[i] != nil && len(shards[i]) == 0
+		}
+		return len(shards[i]) == 0 && (i < e.k || !dataOnly)
+	}
+	s.missData = s.missData[:0]
+	s.missParity = s.missParity[:0]
+	for i := 0; i < e.n; i++ {
+		if !repairable(i) {
+			continue
+		}
+		if into && cap(shards[i]) < size {
+			return fmt.Errorf("%w: shard %d buffer capacity %d < shard size %d", ErrShardSize, i, cap(shards[i]), size)
+		}
+		if i < e.k {
+			s.missData = append(s.missData, i)
+		} else {
+			s.missParity = append(s.missParity, i)
 		}
 	}
-	missingParity := make([]int, 0, e.n-e.k)
-	if !dataOnly {
-		for i := e.k; i < e.n; i++ {
-			if len(shards[i]) == 0 {
-				missingParity = append(missingParity, i)
-			}
-		}
-	}
-	if len(missingData) == 0 && len(missingParity) == 0 {
+	if len(s.missData) == 0 && len(s.missParity) == 0 {
 		return nil
 	}
+	materialize := func(i int) {
+		if into {
+			shards[i] = shards[i][:size]
+		} else {
+			shards[i] = make([]byte, size)
+		}
+	}
 
-	if len(missingData) > 0 {
+	// Both repair stages decode from the same first k survivors, so
+	// the inverted sub-generator is computed at most once per call.
+	chosen := s.present[:e.k]
+	var dec *matrix.Matrix
+
+	if len(s.missData) > 0 {
 		// Decode the missing data rows from the first k survivors.
-		chosen := present[:e.k]
-		dec, err := e.decodeMatrix(chosen)
-		if err != nil {
+		var err error
+		if dec, err = e.decodeMatrix(chosen); err != nil {
 			return err
 		}
-		inputs := make([][]byte, e.k)
+		inputs := s.inputs[:e.k]
 		for i, idx := range chosen {
 			inputs[i] = shards[idx]
 		}
-		outputs := make([][]byte, len(missingData))
-		coeffs := make([][]byte, len(missingData))
-		for i, idx := range missingData {
-			shards[idx] = make([]byte, size)
-			outputs[i] = shards[idx]
-			coeffs[i] = dec.Row(idx)
+		outputs := s.outputs[:0]
+		coeffs := s.coeffs[:0]
+		for _, idx := range s.missData {
+			materialize(idx)
+			outputs = append(outputs, shards[idx])
+			coeffs = append(coeffs, dec.Row(idx))
 		}
 		e.codeStriped(coeffs, inputs, outputs, size)
 	}
 
-	if len(missingParity) > 0 {
-		// All data shards are present now; re-encode missing parity.
-		outputs := make([][]byte, len(missingParity))
-		coeffs := make([][]byte, len(missingParity))
-		for i, idx := range missingParity {
-			shards[idx] = make([]byte, size)
-			outputs[i] = shards[idx]
-			coeffs[i] = e.gen.Row(idx)
+	if len(s.missParity) > 0 {
+		// Re-encode missing parity. Usually every data shard is
+		// present (or was just repaired) and the precomputed generator
+		// rows apply directly. ReconstructInto may leave data shards
+		// absent, though; then each parity row is composed with the
+		// decode matrix — parity = genRow·data = (genRow·dec)·survivors
+		// — so the parity is rebuilt straight from the k survivors.
+		dataComplete := true
+		for i := 0; i < e.k; i++ {
+			if len(shards[i]) != size {
+				dataComplete = false
+				break
+			}
 		}
-		e.codeStriped(coeffs, shards[:e.k], outputs, size)
+		inputs := s.inputs[:e.k]
+		outputs := s.outputs[:0]
+		coeffs := s.coeffs[:0]
+		if dataComplete {
+			copy(inputs, shards[:e.k])
+			for _, idx := range s.missParity {
+				materialize(idx)
+				outputs = append(outputs, shards[idx])
+				coeffs = append(coeffs, e.parityCoeffs[idx-e.k])
+			}
+		} else {
+			if dec == nil {
+				var err error
+				if dec, err = e.decodeMatrix(chosen); err != nil {
+					return err
+				}
+			}
+			for i, idx := range chosen {
+				inputs[i] = shards[idx]
+			}
+			buf := s.coefbuf[:len(s.missParity)*e.k]
+			for i, idx := range s.missParity {
+				materialize(idx)
+				outputs = append(outputs, shards[idx])
+				row := buf[i*e.k : (i+1)*e.k]
+				gRow := e.parityCoeffs[idx-e.k]
+				for j := 0; j < e.k; j++ {
+					var acc byte
+					for m := 0; m < e.k; m++ {
+						acc ^= gf256.Mul(gRow[m], dec.Row(m)[j])
+					}
+					row[j] = acc
+				}
+				coeffs = append(coeffs, row)
+			}
+		}
+		e.codeStriped(coeffs, inputs, outputs, size)
 	}
 	return nil
 }
@@ -358,6 +528,37 @@ func (e *Encoder) CacheStats() (hits, misses uint64, entries int) {
 	return e.cache.stats()
 }
 
+// verifyScratch recycles Verify's recomputed-parity buffer and views.
+type verifyScratch struct {
+	buf  []byte
+	ins  [][]byte
+	outs [][]byte
+}
+
+func (e *Encoder) getVerifyScratch(need int) *verifyScratch {
+	vs, _ := e.verscratch.Get().(*verifyScratch)
+	if vs == nil {
+		vs = &verifyScratch{
+			ins:  make([][]byte, e.k),
+			outs: make([][]byte, e.n-e.k),
+		}
+	}
+	if cap(vs.buf) < need {
+		vs.buf = make([]byte, need)
+	}
+	return vs
+}
+
+func (e *Encoder) putVerifyScratch(vs *verifyScratch) {
+	for i := range vs.ins {
+		vs.ins[i] = nil
+	}
+	for i := range vs.outs {
+		vs.outs[i] = nil
+	}
+	e.verscratch.Put(vs)
+}
+
 // dataSize validates that shards[0..k-1] are present with equal size
 // and returns that size.
 func (e *Encoder) dataSize(shards [][]byte) (int, error) {
@@ -371,44 +572,4 @@ func (e *Encoder) dataSize(shards [][]byte) (int, error) {
 		}
 	}
 	return size, nil
-}
-
-// codeStriped computes outputs[o] = sum_j coeffs[o][j] * inputs[j] over
-// the byte range [0, size), striping across goroutines when the shards
-// are large enough.
-func (e *Encoder) codeStriped(coeffs, inputs, outputs [][]byte, size int) {
-	if len(outputs) == 0 {
-		return
-	}
-	if e.conc <= 1 || size < e.stripeMin {
-		codeRange(coeffs, inputs, outputs, 0, size)
-		return
-	}
-	// 64-byte aligned stripes, one per worker.
-	chunk := (size + e.conc - 1) / e.conc
-	chunk = (chunk + 63) &^ 63
-	var wg sync.WaitGroup
-	for lo := 0; lo < size; lo += chunk {
-		hi := lo + chunk
-		if hi > size {
-			hi = size
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			codeRange(coeffs, inputs, outputs, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// codeRange is the sequential core of codeStriped for one byte range.
-func codeRange(coeffs, inputs, outputs [][]byte, lo, hi int) {
-	for o, out := range outputs {
-		cr := coeffs[o]
-		gf256.MulSlice(cr[0], out[lo:hi], inputs[0][lo:hi])
-		for j := 1; j < len(inputs); j++ {
-			gf256.MulAddSlice(cr[j], out[lo:hi], inputs[j][lo:hi])
-		}
-	}
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
+	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/matrix"
@@ -135,14 +137,106 @@ func TestVerify(t *testing.T) {
 	}
 	shards[6][100] ^= 0xA5
 	ok, err = e.Verify(shards)
-	if err != nil || ok {
-		t.Fatalf("Verify on corrupted parity = (%v, %v), want (false, nil)", ok, err)
+	if ok || !errors.Is(err, ErrParityMismatch) {
+		t.Fatalf("Verify on corrupted parity = (%v, %v), want (false, ErrParityMismatch)", ok, err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "parity shard 6") {
+		t.Fatalf("Verify error %q does not name the mismatching parity shard 6", err)
 	}
 	shards[6][100] ^= 0xA5
 	shards[2][0] ^= 1 // corrupt data: parity no longer matches
 	ok, err = e.Verify(shards)
-	if err != nil || ok {
-		t.Fatalf("Verify on corrupted data = (%v, %v), want (false, nil)", ok, err)
+	if ok || !errors.Is(err, ErrParityMismatch) {
+		t.Fatalf("Verify on corrupted data = (%v, %v), want (false, ErrParityMismatch)", ok, err)
+	}
+}
+
+// TestVerifyReportsFirstMismatch corrupts two parity shards and checks
+// the error names the lower-indexed one.
+func TestVerifyReportsFirstMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	e, err := New(9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := makeShards(t, rng, e, 512)
+	shards[6][17] ^= 1
+	shards[8][17] ^= 1
+	ok, err := e.Verify(shards)
+	if ok || !errors.Is(err, ErrParityMismatch) {
+		t.Fatalf("Verify = (%v, %v), want (false, ErrParityMismatch)", ok, err)
+	}
+	if !strings.Contains(err.Error(), "parity shard 6") {
+		t.Fatalf("Verify error %q should name parity shard 6 (the first mismatch)", err)
+	}
+}
+
+// TestEncodeInto checks the allocation-free encode path: preallocated
+// parity matches Encode, and missing parity is an error rather than an
+// allocation.
+func TestEncodeInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	e, err := New(9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := makeShards(t, rng, e, 513)
+	got := make([][]byte, 9)
+	for i := 0; i < 5; i++ {
+		got[i] = append([]byte(nil), want[i]...)
+	}
+	if err := e.EncodeInto(got); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("EncodeInto with missing parity = %v, want ErrShardSize", err)
+	}
+	for i := 5; i < 9; i++ {
+		got[i] = make([]byte, 513)
+	}
+	if err := e.EncodeInto(got); err != nil {
+		t.Fatalf("EncodeInto: %v", err)
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("EncodeInto shard %d differs from Encode", i)
+		}
+	}
+}
+
+// TestReconstructInto checks the caller-supplied-buffer repair path:
+// zero-length entries with capacity are filled in place, nil entries
+// are skipped, and an undersized buffer is an error.
+func TestReconstructInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	e, err := New(9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 1031
+	orig := makeShards(t, rng, e, size)
+
+	bufData := make([]byte, size)
+	bufParity := make([]byte, size)
+	got := cloneShards(orig)
+	got[1] = bufData[:0]
+	got[7] = bufParity[:0]
+	got[3] = nil // absent and not to be repaired
+	if err := e.ReconstructInto(got); err != nil {
+		t.Fatalf("ReconstructInto: %v", err)
+	}
+	if !bytes.Equal(got[1], orig[1]) || !bytes.Equal(got[7], orig[7]) {
+		t.Fatal("ReconstructInto did not repair the targeted shards")
+	}
+	if &got[1][0] != &bufData[0] || &got[7][0] != &bufParity[0] {
+		t.Fatal("ReconstructInto must fill the caller's buffers in place")
+	}
+	if got[3] != nil {
+		t.Fatal("ReconstructInto must leave nil shards untouched")
+	}
+
+	// Undersized buffer: error before any mutation.
+	got = cloneShards(orig)
+	got[2] = make([]byte, 0, size-1)
+	if err := e.ReconstructInto(got); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("ReconstructInto with undersized buffer = %v, want ErrShardSize", err)
 	}
 }
 
@@ -372,6 +466,93 @@ func TestStripedMatchesSequential(t *testing.T) {
 			if !bytes.Equal(a[i], b[i]) {
 				t.Fatalf("size %d: striped reconstruction shard %d differs", size, i)
 			}
+		}
+	}
+}
+
+// TestConcurrentOneEncoder hammers a single pooled Encoder from many
+// goroutines — encode, verify, and reconstruct mixed — to exercise the
+// worker pool, the pooled scratch, and the decode-matrix cache under
+// the race detector.
+func TestConcurrentOneEncoder(t *testing.T) {
+	e, err := New(9, 5, WithConcurrency(4), WithStripeThreshold(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for iter := 0; iter < 20; iter++ {
+				size := 1000 + rng.Intn(9000)
+				shards := make([][]byte, 9)
+				for i := 0; i < 5; i++ {
+					shards[i] = make([]byte, size)
+					rng.Read(shards[i])
+				}
+				if err := e.Encode(shards); err != nil {
+					t.Errorf("Encode: %v", err)
+					return
+				}
+				if ok, err := e.Verify(shards); err != nil || !ok {
+					t.Errorf("Verify = (%v, %v)", ok, err)
+					return
+				}
+				want := cloneShards(shards)
+				// Alternate between two failure patterns so cache hits
+				// and misses both happen concurrently.
+				drop := []int{0, 6}
+				if iter%2 == 1 {
+					drop = []int{2, 3}
+				}
+				for _, i := range drop {
+					shards[i] = nil
+				}
+				if err := e.Reconstruct(shards); err != nil {
+					t.Errorf("Reconstruct: %v", err)
+					return
+				}
+				for i := range shards {
+					if !bytes.Equal(shards[i], want[i]) {
+						t.Errorf("shard %d mismatch after concurrent reconstruct", i)
+						return
+					}
+				}
+			}
+		}(int64(100 + g))
+	}
+	wg.Wait()
+	if hits, misses, _ := e.CacheStats(); hits+misses == 0 {
+		t.Fatal("concurrent reconstructs should have touched the decode-matrix cache")
+	}
+}
+
+// TestCloseLeavesEncoderUsable checks that Close only drops the
+// background workers: striped calls still complete (inline) and
+// produce identical shards.
+func TestCloseLeavesEncoderUsable(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	e, err := New(9, 5, WithConcurrency(4), WithStripeThreshold(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := makeShards(t, rng, e, 8192)
+	e.Close()
+	e.Close() // idempotent
+	after := make([][]byte, 9)
+	for i := 0; i < 5; i++ {
+		after[i] = append([]byte(nil), before[i]...)
+	}
+	if err := e.Encode(after); err != nil {
+		t.Fatalf("Encode after Close: %v", err)
+	}
+	for i := range before {
+		if !bytes.Equal(before[i], after[i]) {
+			t.Fatalf("shard %d differs after Close", i)
 		}
 	}
 }
