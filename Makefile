@@ -1,20 +1,26 @@
 GO ?= go
 
-.PHONY: all build test vet bench bench-smoke race
+# The benchmark selection shared by `make bench` and `make bench-json`.
+BENCH_PATTERN := MulAddSlice|MulSlice|MulAddMulti|Encode|Reconstruct|Verify|DecodeErrors
 
-all: vet build test
+.PHONY: all build test vet bench bench-smoke bench-json race fuzz
+
+all: vet build test race
 
 build:
 	$(GO) build ./...
 
 test:
+	$(GO) test ./...
+
+race:
 	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
 
 bench:
-	$(GO) test -run '^$$' -bench 'MulAddSlice|MulSlice|MulAddMulti|Encode|Reconstruct|Verify' -benchmem ./internal/gf256/ ./internal/rs/
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem ./internal/gf256/ ./internal/rs/
 
 # bench-smoke compiles and runs every benchmark a fixed 10 iterations on
 # both the SIMD and purego kernel ladders: a CI-friendly check that the
@@ -22,3 +28,16 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=10x ./internal/gf256/ ./internal/rs/
 	$(GO) test -tags purego -run '^$$' -bench . -benchtime=10x ./internal/gf256/ ./internal/rs/
+
+# bench-json reruns the bench suite and regenerates BENCH_rs.json in one
+# deterministic format (sorted keys, tool-computed derived ratios), so
+# perf-trajectory entries are produced, not hand-edited. The narrative
+# "notes" field of the existing file is preserved.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_rs.json -- \
+		$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 300ms -benchmem ./internal/gf256/ ./internal/rs/
+
+# fuzz runs each fuzz target briefly; lengthen with FUZZTIME=5m etc.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test ./internal/rs/ -fuzz FuzzDecodeErrors -fuzztime $(FUZZTIME)

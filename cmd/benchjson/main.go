@@ -1,0 +1,178 @@
+// Command benchjson reruns the benchmark suite and regenerates the
+// repository's BENCH_rs.json in one deterministic format, so the perf
+// trajectory file is produced by a tool instead of hand-edited.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -out BENCH_rs.json -- go test -run '^$' -bench ... ./...
+//
+// Everything after "--" is executed as the benchmark command; its
+// combined output is parsed for "pkg:", "cpu:" and benchmark result
+// lines and streamed through to stderr so progress stays visible. The
+// narrative "notes" field of an existing output file is preserved
+// (benchmarks change every run, the story around them does not), and a
+// few derived ratios the trajectory tracks are recomputed when their
+// inputs are present. Map keys are emitted sorted (encoding/json),
+// which is what makes reruns diff cleanly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchResult struct {
+	NsOp     float64  `json:"ns_op"`
+	MBs      *float64 `json:"mb_s,omitempty"`
+	BOp      *int64   `json:"b_op,omitempty"`
+	AllocsOp *int64   `json:"allocs_op,omitempty"`
+}
+
+type output struct {
+	Date       string                 `json:"date"`
+	CPU        string                 `json:"cpu,omitempty"`
+	GoMaxProcs int                    `json:"gomaxprocs"`
+	Go         string                 `json:"go"`
+	Command    string                 `json:"command"`
+	Notes      string                 `json:"notes,omitempty"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+	Derived    map[string]float64     `json:"derived,omitempty"`
+}
+
+// benchLine matches "BenchmarkFoo/bar-8  123  456 ns/op  [789 MB/s]  [12 B/op]  [3 allocs/op]".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_rs.json", "output file; an existing file's notes/cpu fields are preserved")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark command given (pass it after --)")
+		os.Exit(2)
+	}
+
+	res := output{
+		Date:       time.Now().Format("2006-01-02"),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Go:         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		Command:    strings.Join(args, " "),
+		Benchmarks: map[string]benchResult{},
+	}
+	if old, err := os.ReadFile(*out); err == nil {
+		var prev struct {
+			Notes string `json:"notes"`
+			CPU   string `json:"cpu"`
+		}
+		if json.Unmarshal(old, &prev) == nil {
+			res.Notes, res.CPU = prev.Notes, prev.CPU
+		}
+	}
+
+	cmd := exec.Command(args[0], args[1:]...)
+	cmd.Stderr = os.Stderr
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatal(err)
+	}
+	pkg := ""
+	sc := bufio.NewScanner(pipe)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			full := strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			pkg = full[strings.LastIndexByte(full, '/')+1:]
+		case strings.HasPrefix(line, "cpu: "):
+			res.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+		default:
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			name := strings.TrimPrefix(m[1], "Benchmark")
+			if pkg != "" {
+				name = pkg + "/" + name
+			}
+			var r benchResult
+			r.NsOp, _ = strconv.ParseFloat(m[3], 64)
+			if m[4] != "" {
+				v, _ := strconv.ParseFloat(m[4], 64)
+				r.MBs = &v
+			}
+			if m[5] != "" {
+				v, _ := strconv.ParseInt(m[5], 10, 64)
+				r.BOp = &v
+			}
+			if m[6] != "" {
+				v, _ := strconv.ParseInt(m[6], 10, 64)
+				r.AllocsOp = &v
+			}
+			res.Benchmarks[name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		fatal(fmt.Errorf("benchmark command: %w", err))
+	}
+	if len(res.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark results parsed from %q", res.Command))
+	}
+
+	res.Derived = derived(res.Benchmarks)
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(res.Benchmarks), *out)
+}
+
+// derived recomputes the ratio metrics the perf trajectory tracks,
+// skipping any whose inputs are missing from this run.
+func derived(b map[string]benchResult) map[string]float64 {
+	d := map[string]float64{}
+	ratio := func(key, slow, fast string) {
+		s, okS := b[slow]
+		f, okF := b[fast]
+		if okS && okF && f.NsOp > 0 {
+			d[key] = round2(s.NsOp / f.NsOp)
+		}
+	}
+	ratio("decode_errors_syndrome_vs_brute_n14k10e2_64KiB",
+		"rs/DecodeErrors/brute/n14k10e2/64KiB", "rs/DecodeErrors/syndrome/n14k10e2/64KiB")
+	ratio("fused_vs_unfused_k10_64KiB",
+		"gf256/MulAddMultiUnfused/k10/64KiB", "gf256/MulAddMulti/k10/64KiB")
+	ratio("gfni_vs_avx2_64KiB",
+		"gf256/MulAddMultiKernels/avx2", "gf256/MulAddMultiKernels/gfni")
+	if len(d) == 0 {
+		return nil
+	}
+	return d
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

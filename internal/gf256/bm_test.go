@@ -1,0 +1,212 @@
+package gf256
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// powerSumSyndromes computes S_t = sum_i mults[pos[i]]*points[pos[i]]^t
+// * mags[i] for t = 0..d-1: the syndrome sequence an errata vector with
+// the given positions and magnitudes produces. Decoding depends on the
+// received word only through these, so the tests can work on errata
+// vectors directly without materializing a code.
+func powerSumSyndromes(d int, points, mults []byte, pos []int, mags []byte) []byte {
+	s := make([]byte, d)
+	for t := 0; t < d; t++ {
+		for i, p := range pos {
+			s[t] ^= Mul(Mul(mults[p], Pow(points[p], t)), mags[i])
+		}
+	}
+	return s
+}
+
+func grsPoints(n int) (points, mults []byte) {
+	points = make([]byte, n)
+	mults = make([]byte, n)
+	for i := range points {
+		points[i] = Exp(i)
+		mults[i] = Exp(7 * i) // any nonzero multipliers work
+	}
+	return points, mults
+}
+
+func TestBerlekampMasseyLocatesPowerSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	points, _ := grsPoints(30)
+	mults := make([]byte, len(points))
+	for i := range mults {
+		mults[i] = 1
+	}
+	for trial := 0; trial < 500; trial++ {
+		d := 2 + rng.Intn(10)
+		nerr := rng.Intn(d/2 + 1)
+		perm := rng.Perm(len(points))[:nerr]
+		xs := make([]byte, 0, nerr)
+		for _, p := range perm {
+			xs = append(xs, points[p])
+		}
+		want := ErrataLocator(xs)
+		mags := make([]byte, nerr)
+		for i := range mags {
+			mags[i] = byte(1 + rng.Intn(255))
+		}
+		s := powerSumSyndromes(d, points, mults, perm, mags)
+		got := BerlekampMassey(s)
+		// The minimal LFSR of the power sums is the locator up to
+		// normalization; both have constant term 1, so compare directly.
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d (d=%d, errs=%v): BM = %v, want locator %v", trial, d, perm, got, want)
+		}
+	}
+}
+
+func TestBerlekampMasseyZeroSequence(t *testing.T) {
+	if got := BerlekampMassey(make([]byte, 8)); !bytes.Equal(got, []byte{1}) {
+		t.Fatalf("BM of zero sequence = %v, want [1]", got)
+	}
+	if got := BerlekampMassey(nil); !bytes.Equal(got, []byte{1}) {
+		t.Fatalf("BM of empty sequence = %v, want [1]", got)
+	}
+}
+
+func TestErrataLocatorRoots(t *testing.T) {
+	xs := []byte{Exp(3), Exp(10), Exp(200)}
+	loc := ErrataLocator(xs)
+	if deg := PolyDegree(loc); deg != len(xs) {
+		t.Fatalf("locator degree %d, want %d", deg, len(xs))
+	}
+	for _, x := range xs {
+		if v := PolyEval(loc, Inv(x)); v != 0 {
+			t.Fatalf("locator(1/%#02x) = %#02x, want 0", x, v)
+		}
+	}
+	if v := PolyEval(loc, Inv(Exp(5))); v == 0 {
+		t.Fatal("locator vanishes at a non-root")
+	}
+	if got := ErrataLocator(nil); !bytes.Equal(got, []byte{1}) {
+		t.Fatalf("empty locator = %v, want [1]", got)
+	}
+}
+
+// TestErasureModifiedSyndromesMatchesPolyMul checks the direct
+// convolution against the definition Xi = Gamma*S mod x^d, tail from
+// coefficient f on.
+func TestErasureModifiedSyndromesMatchesPolyMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + rng.Intn(12)
+		f := rng.Intn(d + 1)
+		s := make([]byte, d)
+		rng.Read(s)
+		xs := make([]byte, f)
+		for i := range xs {
+			xs[i] = byte(1 + rng.Intn(255))
+		}
+		gamma := ErrataLocator(xs)
+		got := ErasureModifiedSyndromes(nil, s, gamma)
+		full := PolyMul(gamma, s)
+		want := make([]byte, d)
+		copy(want, full)
+		if !bytes.Equal(got, want[f:]) {
+			t.Fatalf("trial %d: modified syndromes %v, want %v", trial, got, want[f:])
+		}
+	}
+}
+
+// TestDecodeErrataRandom sweeps every (errors, erasures) split within
+// capacity for a range of code shapes and checks exact recovery of the
+// errata positions and magnitudes from the syndromes alone.
+func TestDecodeErrataRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{4, 9, 14, 40} {
+		points, mults := grsPoints(n)
+		for d := 0; d <= 6 && d < n; d++ {
+			for f := 0; f <= d; f++ {
+				maxE := (d - f) / 2
+				for e := 0; e <= maxE; e++ {
+					for trial := 0; trial < 20; trial++ {
+						perm := rng.Perm(n)
+						erasures := append([]int(nil), perm[:f]...)
+						errPos := perm[f : f+e]
+						pos := append(append([]int(nil), erasures...), errPos...)
+						mags := make([]byte, len(pos))
+						for i := range mags {
+							if i < f {
+								mags[i] = byte(rng.Intn(256)) // erasure value may be zero
+							} else {
+								mags[i] = byte(1 + rng.Intn(255)) // an error must change the symbol
+							}
+						}
+						synd := powerSumSyndromes(d, points, mults, pos, mags)
+						gotPos, gotMags, err := DecodeErrata(synd, points, mults, erasures)
+						if err != nil {
+							t.Fatalf("n=%d d=%d f=%d e=%d: DecodeErrata: %v", n, d, f, e, err)
+						}
+						want := map[int]byte{}
+						for i, p := range pos {
+							want[p] = mags[i]
+						}
+						if len(gotPos) != len(pos) {
+							t.Fatalf("n=%d d=%d f=%d e=%d: got %d errata %v, want %d", n, d, f, e, len(gotPos), gotPos, len(pos))
+						}
+						for i, p := range gotPos {
+							if i > 0 && gotPos[i-1] >= p {
+								t.Fatalf("positions not ascending: %v", gotPos)
+							}
+							if gotMags[i] != want[p] {
+								t.Fatalf("n=%d d=%d f=%d e=%d: magnitude at %d = %#02x, want %#02x", n, d, f, e, p, gotMags[i], want[p])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeErrataErrors(t *testing.T) {
+	points, mults := grsPoints(10)
+	if _, _, err := DecodeErrata(make([]byte, 2), points, mults, []int{0, 1, 2}); !errors.Is(err, ErrErrataOverflow) {
+		t.Fatalf("more erasures than syndromes: err = %v, want ErrErrataOverflow", err)
+	}
+	if _, _, err := DecodeErrata(make([]byte, 4), points, mults, []int{3, 3}); err == nil {
+		t.Fatal("duplicate erasure positions must be rejected")
+	}
+	if _, _, err := DecodeErrata(make([]byte, 4), points, mults, []int{11}); err == nil {
+		t.Fatal("out-of-range erasure position must be rejected")
+	}
+	// Beyond-capacity errors must never succeed silently as long as the
+	// locator cannot be completed: 3 errors against d=4 syndromes has no
+	// consistent degree<=2 locator for generic magnitudes. Assert no
+	// panic and that any failure is ErrErrataOverflow.
+	rng := rand.New(rand.NewSource(4))
+	failures := 0
+	for trial := 0; trial < 100; trial++ {
+		pos := rng.Perm(10)[:3]
+		mags := []byte{byte(1 + rng.Intn(255)), byte(1 + rng.Intn(255)), byte(1 + rng.Intn(255))}
+		synd := powerSumSyndromes(4, points, mults, pos, mags)
+		if _, _, err := DecodeErrata(synd, points, mults, nil); err != nil {
+			if !errors.Is(err, ErrErrataOverflow) {
+				t.Fatalf("beyond-capacity failure has wrong class: %v", err)
+			}
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Fatal("100 beyond-capacity trials all decoded: overflow detection is not working")
+	}
+}
+
+func TestForneySingleError(t *testing.T) {
+	points, mults := grsPoints(8)
+	p, mag := 5, byte(0x7f)
+	synd := powerSumSyndromes(4, points, mults, []int{p}, []byte{mag})
+	psi := ErrataLocator([]byte{points[p]})
+	omega := ErrorEvaluator(synd, psi, 4)
+	got, err := ForneyMagnitude(omega, psi, points[p], mults[p])
+	if err != nil || got != mag {
+		t.Fatalf("Forney = (%#02x, %v), want (%#02x, nil)", got, err, mag)
+	}
+}

@@ -264,6 +264,73 @@ func SystematicVandermonde(n, k int) (*Matrix, error) {
 	return v.Mul(topInv), nil
 }
 
+// EvalPoints returns the n evaluation points alpha_i = Generator^i used
+// by Vandermonde and SystematicVandermonde: codeword position i of the
+// RS-view code carries the value q(alpha_i). n must be at most 255 so
+// the points are distinct and nonzero.
+func EvalPoints(n int) []byte {
+	if n > 255 {
+		panic("matrix: at most 255 distinct nonzero evaluation points over GF(2^8)")
+	}
+	pts := make([]byte, n)
+	for i := range pts {
+		pts[i] = gf256.Exp(i)
+	}
+	return pts
+}
+
+// GRSDualMultipliers returns the column multipliers w_i of the dual of
+// the evaluation code on the given (distinct) points:
+//
+//	w_i = 1 / prod_{j != i} (alpha_i + alpha_j).
+//
+// The dual of {(q(alpha_0), ..., q(alpha_{n-1})) : deg q < k} is the
+// generalized Reed-Solomon code generated by the rows (w_i*alpha_i^t)
+// for t = 0..n-k-1, which is what gives the code a BCH-style syndrome
+// structure (see GRSParityCheck).
+func GRSDualMultipliers(points []byte) []byte {
+	w := make([]byte, len(points))
+	for i, xi := range points {
+		p := byte(1)
+		for j, xj := range points {
+			if j != i {
+				p = gf256.Mul(p, xi^xj)
+			}
+		}
+		w[i] = gf256.Inv(p)
+	}
+	return w
+}
+
+// GRSParityCheck returns the (n-k) x n parity-check matrix H of the
+// RS-view evaluation code on EvalPoints(n), with
+//
+//	H[t][i] = w_i * alpha_i^t,
+//
+// so H*c = 0 exactly when c is a codeword of SystematicVandermonde(n, k).
+// The weighted-power-sum rows are what make syndrome decoding
+// (Berlekamp-Massey / Chien / Forney in gf256) applicable: the syndrome
+// of an errata vector is a power-sum sequence in the errata locators.
+func GRSParityCheck(n, k int) (*Matrix, error) {
+	if k <= 0 || n < k || n > 255 {
+		return nil, fmt.Errorf("matrix: invalid GRS shape n=%d k=%d (need 0 < k <= n <= 255)", n, k)
+	}
+	if n == k {
+		return nil, fmt.Errorf("matrix: GRS parity check needs n > k")
+	}
+	points := EvalPoints(n)
+	w := GRSDualMultipliers(points)
+	h := New(n-k, n)
+	for i := 0; i < n; i++ {
+		v := w[i]
+		for t := 0; t < n-k; t++ {
+			h.Set(t, i, v)
+			v = gf256.Mul(v, points[i])
+		}
+	}
+	return h, nil
+}
+
 // SystematicCauchy returns an n x k systematic MDS generator built from
 // an identity stacked over a Cauchy block.
 func SystematicCauchy(n, k int) (*Matrix, error) {

@@ -262,3 +262,84 @@ func TestStringFormat(t *testing.T) {
 		t.Fatalf("String() = %q", s)
 	}
 }
+
+// TestGRSParityCheckAnnihilatesRSView is the load-bearing duality fact
+// behind syndrome decoding: H * G = 0 for the RS-view systematic
+// generator, so every codeword has all-zero weighted power sums.
+func TestGRSParityCheckAnnihilatesRSView(t *testing.T) {
+	for _, sh := range []struct{ n, k int }{{3, 1}, {5, 3}, {9, 5}, {14, 10}, {40, 20}, {255, 200}} {
+		g, err := SystematicVandermonde(sh.n, sh.k)
+		if err != nil {
+			t.Fatalf("SystematicVandermonde(%d,%d): %v", sh.n, sh.k, err)
+		}
+		h, err := GRSParityCheck(sh.n, sh.k)
+		if err != nil {
+			t.Fatalf("GRSParityCheck(%d,%d): %v", sh.n, sh.k, err)
+		}
+		prod := h.Mul(g)
+		for i := 0; i < prod.Rows(); i++ {
+			for j := 0; j < prod.Cols(); j++ {
+				if prod.At(i, j) != 0 {
+					t.Fatalf("[%d,%d]: (H*G)[%d][%d] = %#02x, want 0", sh.n, sh.k, i, j, prod.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestGRSParityCheckStructure(t *testing.T) {
+	const n, k = 9, 5
+	h, err := GRSParityCheck(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := EvalPoints(n)
+	w := GRSDualMultipliers(points)
+	for i := 0; i < n; i++ {
+		if w[i] == 0 {
+			t.Fatalf("dual multiplier %d is zero", i)
+		}
+		for tt := 0; tt < n-k; tt++ {
+			want := gf256.Mul(w[i], gf256.Pow(points[i], tt))
+			if h.At(tt, i) != want {
+				t.Fatalf("H[%d][%d] = %#02x, want w_i*alpha_i^t = %#02x", tt, i, h.At(tt, i), want)
+			}
+		}
+	}
+	// Any (n-k) columns of H must be independent (the dual is MDS): spot
+	// check a few square submatrices by transposed inversion.
+	for _, cols := range [][]int{{0, 1, 2, 3}, {5, 6, 7, 8}, {0, 3, 4, 8}} {
+		sub := New(n-k, n-k)
+		for r := 0; r < n-k; r++ {
+			for c, ci := range cols {
+				sub.Set(r, c, h.At(r, ci))
+			}
+		}
+		if _, err := sub.Invert(); err != nil {
+			t.Fatalf("columns %v of H are dependent: %v", cols, err)
+		}
+	}
+}
+
+func TestGRSParityCheckErrors(t *testing.T) {
+	if _, err := GRSParityCheck(5, 5); err == nil {
+		t.Fatal("n == k has no parity rows and must be rejected")
+	}
+	if _, err := GRSParityCheck(256, 10); err == nil {
+		t.Fatal("n > 255 must be rejected")
+	}
+	if _, err := GRSParityCheck(4, 0); err == nil {
+		t.Fatal("k = 0 must be rejected")
+	}
+}
+
+func TestEvalPointsDistinctNonzero(t *testing.T) {
+	pts := EvalPoints(255)
+	seen := map[byte]bool{}
+	for i, p := range pts {
+		if p == 0 || seen[p] {
+			t.Fatalf("point %d = %#02x is zero or repeated", i, p)
+		}
+		seen[p] = true
+	}
+}

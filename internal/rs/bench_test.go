@@ -205,3 +205,96 @@ func BenchmarkEncodeParallel(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkDecodeErrors is the acceptance benchmark for syndrome-based
+// error decoding: n=14, k=10, e=2 silently corrupt shards at a 64 KiB
+// shard size, syndrome path (Berlekamp-Massey on fused syndromes)
+// against the brute-force subset-decoding oracle (C(14,2)=91 trial
+// erasure-decodes with full re-encode checks).
+func BenchmarkDecodeErrors(b *testing.B) {
+	for _, mode := range []string{"syndrome", "brute"} {
+		for _, sz := range []struct {
+			name string
+			size int
+		}{
+			{"64KiB", 64 << 10},
+			{"1MiB", 1 << 20},
+		} {
+			if mode == "brute" && sz.size > 64<<10 {
+				continue // the oracle at 1 MiB is pointlessly slow
+			}
+			b.Run(fmt.Sprintf("%s/n14k10e2/%s", mode, sz.name), func(b *testing.B) {
+				e, err := New(14, 10, WithGenerator(GeneratorRSView))
+				if err != nil {
+					b.Fatal(err)
+				}
+				orig := benchShards(b, e, sz.size)
+				shards := make([][]byte, 14)
+				for i := range shards {
+					shards[i] = append([]byte(nil), orig[i]...)
+				}
+				corrupt := func() {
+					copy(shards[3], orig[3])
+					copy(shards[11], orig[11])
+					shards[3][100] ^= 0x5a
+					shards[11][sz.size-7] ^= 0xc3
+				}
+				b.SetBytes(int64(10 * sz.size))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					corrupt()
+					var got []int
+					var err error
+					if mode == "syndrome" {
+						got, err = e.DecodeErrors(shards)
+					} else {
+						got, err = e.decodeErrorsBrute(shards)
+					}
+					if err != nil || len(got) != 2 {
+						b.Fatalf("decode (%s) = (%v, %v)", mode, got, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDecodeErrorsInto is the steady-state decode path: stable
+// corruption pattern (warm errata cache), pooled scratch, caller
+// buffers — the op must report 0 allocs.
+func BenchmarkDecodeErrorsInto(b *testing.B) {
+	for _, sz := range []struct {
+		name string
+		size int
+	}{
+		{"64KiB", 64 << 10},
+		{"1MiB", 1 << 20},
+	} {
+		b.Run(fmt.Sprintf("n14k10e2/%s", sz.name), func(b *testing.B) {
+			e, err := New(14, 10, WithGenerator(GeneratorRSView))
+			if err != nil {
+				b.Fatal(err)
+			}
+			orig := benchShards(b, e, sz.size)
+			shards := make([][]byte, 14)
+			for i := range shards {
+				shards[i] = append([]byte(nil), orig[i]...)
+			}
+			corrupt := make([]int, 0, 4)
+			b.SetBytes(int64(10 * sz.size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(shards[3], orig[3])
+				copy(shards[11], orig[11])
+				shards[3][100] ^= 0x5a
+				shards[11][sz.size-7] ^= 0xc3
+				var err error
+				if corrupt, err = e.DecodeErrorsInto(shards, corrupt[:0]); err != nil || len(corrupt) != 2 {
+					b.Fatalf("DecodeErrorsInto = (%v, %v)", corrupt, err)
+				}
+			}
+		})
+	}
+}

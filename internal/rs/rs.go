@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 
 	"repro/internal/gf256"
@@ -58,28 +59,63 @@ var (
 	// ErrTooFewShards is returned by Reconstruct when fewer than k
 	// shards are present.
 	ErrTooFewShards = errors.New("rs: too few shards to reconstruct")
-	// ErrParityMismatch wraps Verify's report of the first parity
-	// shard that does not match the data shards.
+	// ErrParityMismatch is the class of Verify's mismatch report; the
+	// concrete error is a *ParityMismatchError listing every parity
+	// shard that disagrees with the data shards.
 	ErrParityMismatch = errors.New("rs: parity mismatch")
+	// ErrTooManyErrors is returned by DecodeErrors when the shards are
+	// not within the decoding radius: more than e corrupt shards with
+	// 2e + erasures <= n-k.
+	ErrTooManyErrors = errors.New("rs: too many corrupt shards to locate")
+	// ErrNoSyndromes is returned by DecodeErrors on an Encoder whose
+	// generator has no syndrome structure (build with
+	// WithGenerator(GeneratorRSView) to enable error decoding).
+	ErrNoSyndromes = errors.New("rs: generator has no syndrome structure")
 )
+
+// ParityMismatchError reports every parity shard whose stored bytes
+// disagree with recomputation from the data shards. It unwraps to
+// ErrParityMismatch. Because a single corrupt data shard flips
+// essentially every parity shard while a corrupt parity shard flips
+// only itself, len(Indices) is the cheap first estimate of where
+// corruption sits before paying for DecodeErrors.
+type ParityMismatchError struct {
+	// Indices holds the mismatching parity shard indices (in [k, n)),
+	// ascending.
+	Indices []int
+}
+
+func (e *ParityMismatchError) Error() string {
+	if len(e.Indices) == 1 {
+		return fmt.Sprintf("rs: parity mismatch: parity shard %d", e.Indices[0])
+	}
+	return fmt.Sprintf("rs: parity mismatch: parity shards %v", e.Indices)
+}
+
+// Unwrap ties the error to the ErrParityMismatch class.
+func (e *ParityMismatchError) Unwrap() error { return ErrParityMismatch }
 
 // Encoder is a reusable [n, k] systematic Reed-Solomon codec. It is
 // safe for concurrent use.
 type Encoder struct {
-	n, k int
-	gen  *matrix.Matrix // n x k systematic generator (top k rows = I)
+	n, k    int
+	genKind Generator
+	gen     *matrix.Matrix     // n x k systematic generator (top k rows = I)
+	syn     *syndromeStructure // non-nil only for GeneratorRSView with parity
 
 	// parityCoeffs[i] is generator row k+i: the coefficients of parity
 	// shard k+i. Precomputed so Encode/Verify never allocate them.
 	parityCoeffs [][]byte
 
-	conc      int // max goroutines per striped operation
-	stripeMin int // minimum shard size before striping kicks in
-	cache     *matrixCache
-	pool      *workerPool // nil when conc == 1
+	conc        int // max goroutines per striped operation
+	stripeMin   int // minimum shard size before striping kicks in
+	cache       *matrixCache
+	errataCache *matrixCache // errata-solve setups keyed by errata bitmask
+	pool        *workerPool  // nil when conc == 1
 
 	scratch    sync.Pool // *codecScratch
 	verscratch sync.Pool // *verifyScratch
+	decscratch sync.Pool // *decodeScratch
 }
 
 // Option configures an Encoder.
@@ -113,7 +149,9 @@ func WithStripeThreshold(bytes int) Option {
 
 // WithCacheSize bounds the decode-matrix LRU to the given number of
 // entries. 0 disables caching (every reconstruction inverts). The
-// default is 64 entries, about 64 * k^2 bytes.
+// default is 64 entries, about 64 * k^2 bytes. The same bound applies
+// to the errata-solve cache used by DecodeErrors (keyed by the
+// erasure-plus-error pattern), which is likewise disabled by 0.
 func WithCacheSize(entries int) Option {
 	return func(e *Encoder) error {
 		if entries < 0 {
@@ -121,8 +159,10 @@ func WithCacheSize(entries int) Option {
 		}
 		if entries == 0 {
 			e.cache = nil
+			e.errataCache = nil
 		} else {
 			e.cache = newMatrixCache(entries)
+			e.errataCache = newMatrixCache(entries)
 		}
 		return nil
 	}
@@ -134,31 +174,32 @@ const (
 )
 
 // New returns an [n, k] Encoder: n total shards of which k carry data,
-// tolerating any n-k erasures. Requires 0 < k <= n <= 256.
+// tolerating any n-k erasures. Requires 0 < k <= n <= 256 (n <= 255
+// with GeneratorRSView).
 func New(n, k int, opts ...Option) (*Encoder, error) {
 	if k <= 0 || n < k || n > 256 {
 		return nil, fmt.Errorf("%w: n=%d k=%d (need 0 < k <= n <= 256)", ErrInvalidShape, n, k)
 	}
-	gen, err := matrix.SystematicCauchy(n, k)
-	if err != nil {
-		return nil, fmt.Errorf("rs: building generator: %w", err)
-	}
 	e := &Encoder{
-		n:         n,
-		k:         k,
-		gen:       gen,
-		conc:      runtime.GOMAXPROCS(0),
-		stripeMin: defaultStripeMin,
-		cache:     newMatrixCache(defaultCacheSize),
+		n:           n,
+		k:           k,
+		conc:        runtime.GOMAXPROCS(0),
+		stripeMin:   defaultStripeMin,
+		cache:       newMatrixCache(defaultCacheSize),
+		errataCache: newMatrixCache(defaultCacheSize),
 	}
 	for _, opt := range opts {
 		if err := opt(e); err != nil {
 			return nil, err
 		}
 	}
+	var err error
+	if e.gen, e.syn, err = buildGenerator(e.genKind, n, k); err != nil {
+		return nil, fmt.Errorf("rs: building %s generator: %w", e.genKind, err)
+	}
 	e.parityCoeffs = make([][]byte, n-k)
 	for i := range e.parityCoeffs {
-		e.parityCoeffs[i] = gen.Row(k + i)
+		e.parityCoeffs[i] = e.gen.Row(k + i)
 	}
 	if e.conc > 1 {
 		e.pool = newWorkerPool(e.conc - 1)
@@ -235,9 +276,11 @@ func (e *Encoder) EncodeInto(shards [][]byte) error {
 
 // Verify recomputes the parity shards and reports whether they match.
 // All n shards must be present with equal size. On a mismatch it
-// returns false together with an ErrParityMismatch identifying the
-// first mismatching parity shard (lowest byte range, then lowest
-// index); the match path performs no heap allocation.
+// returns false together with a *ParityMismatchError listing every
+// mismatching parity shard: the cheap corruption estimate that decides
+// whether DecodeErrors is worth running (one bad parity shard means the
+// parity itself is corrupt; several usually mean a bad data shard). The
+// match path performs no heap allocation.
 func (e *Encoder) Verify(shards [][]byte) (bool, error) {
 	if len(shards) != e.n {
 		return false, fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), e.n)
@@ -264,7 +307,20 @@ func (e *Encoder) Verify(shards [][]byte) (bool, error) {
 	vs := e.getVerifyScratch(np * chunk)
 	defer e.putVerifyScratch(vs)
 	buf := vs.buf[:np*chunk]
-	for lo := 0; lo < size; lo += chunk {
+	// bad collects every mismatching parity index; it is nil until the
+	// first mismatch so the match path stays allocation-free. A parity
+	// shard already known bad is skipped in later chunks, and the scan
+	// stops early once every parity shard is flagged.
+	var bad []int
+	flagged := func(idx int) bool {
+		for _, b := range bad {
+			if b == idx {
+				return true
+			}
+		}
+		return false
+	}
+	for lo := 0; lo < size && len(bad) < np; lo += chunk {
 		hi := lo + chunk
 		if hi > size {
 			hi = size
@@ -278,10 +334,14 @@ func (e *Encoder) Verify(shards [][]byte) (bool, error) {
 		}
 		codeRange(e.parityCoeffs, vs.ins, vs.outs, 0, m)
 		for i := 0; i < np; i++ {
-			if !bytes.Equal(vs.outs[i], shards[e.k+i][lo:hi]) {
-				return false, fmt.Errorf("%w: parity shard %d (detected in bytes [%d, %d))", ErrParityMismatch, e.k+i, lo, hi)
+			if !flagged(e.k+i) && !bytes.Equal(vs.outs[i], shards[e.k+i][lo:hi]) {
+				bad = append(bad, e.k+i)
 			}
 		}
+	}
+	if bad != nil {
+		slices.Sort(bad) // chunks flag indices in detection order
+		return false, &ParityMismatchError{Indices: bad}
 	}
 	return true, nil
 }

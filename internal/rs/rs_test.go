@@ -151,23 +151,38 @@ func TestVerify(t *testing.T) {
 	}
 }
 
-// TestVerifyReportsFirstMismatch corrupts two parity shards and checks
-// the error names the lower-indexed one.
-func TestVerifyReportsFirstMismatch(t *testing.T) {
+// TestVerifyReportsAllMismatches corrupts parity shards in different
+// byte ranges (and in descending index order across chunks) and checks
+// the error lists every mismatching index, ascending, exactly once.
+func TestVerifyReportsAllMismatches(t *testing.T) {
 	rng := rand.New(rand.NewSource(40))
 	e, err := New(9, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	shards := makeShards(t, rng, e, 512)
-	shards[6][17] ^= 1
-	shards[8][17] ^= 1
+	size := 3 * verifyChunk / 2 // two chunks, so mismatches span chunk scans
+	shards := makeShards(t, rng, e, size)
+	shards[8][17] ^= 1            // first chunk, high index
+	shards[8][size-1] ^= 1        // second chunk too: must not be double-reported
+	shards[6][verifyChunk+5] ^= 1 // second chunk, low index
 	ok, err := e.Verify(shards)
 	if ok || !errors.Is(err, ErrParityMismatch) {
 		t.Fatalf("Verify = (%v, %v), want (false, ErrParityMismatch)", ok, err)
 	}
-	if !strings.Contains(err.Error(), "parity shard 6") {
-		t.Fatalf("Verify error %q should name parity shard 6 (the first mismatch)", err)
+	var pm *ParityMismatchError
+	if !errors.As(err, &pm) {
+		t.Fatalf("Verify error %T is not a *ParityMismatchError", err)
+	}
+	if want := []int{6, 8}; len(pm.Indices) != 2 || pm.Indices[0] != want[0] || pm.Indices[1] != want[1] {
+		t.Fatalf("Verify mismatch indices = %v, want %v", pm.Indices, want)
+	}
+	// A corrupt data shard flips every parity shard: the estimator's
+	// "all parities bad" signal.
+	shards = makeShards(t, rng, e, 512)
+	shards[2][100] ^= 0x5a
+	_, err = e.Verify(shards)
+	if !errors.As(err, &pm) || len(pm.Indices) != 4 {
+		t.Fatalf("Verify with corrupt data reported %v, want all 4 parity shards", err)
 	}
 }
 
