@@ -3,12 +3,20 @@ GO ?= go
 # The benchmark selection shared by `make bench` and `make bench-json`.
 BENCH_PATTERN := MulAddSlice|MulSlice|MulAddMulti|Encode|Reconstruct|Verify|DecodeErrors
 
-.PHONY: all build test vet bench bench-smoke bench-json race fuzz
+.PHONY: all build build-cross test vet bench bench-smoke bench-json race fuzz
 
 all: vet build test race
 
 build:
 	$(GO) build ./...
+
+# build-cross keeps the portable (noasm) kernel path buildable: a
+# non-amd64 cross-compile plus the purego tag on the host arch.
+build-cross:
+	GOOS=linux GOARCH=arm64 $(GO) build ./...
+	GOOS=darwin GOARCH=arm64 $(GO) build ./...
+	$(GO) build -tags purego ./...
+	GOOS=linux GOARCH=arm64 $(GO) vet ./...
 
 test:
 	$(GO) test ./...

@@ -21,18 +21,6 @@ func corruptShard(rng *rand.Rand, shards [][]byte, idx int) {
 	}
 }
 
-func equalInts(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
 // damage applies e corruptions and f erasures from perm to a clone of
 // orig, returning the damaged shards and the ascending lists of
 // positions actually corrupted and erased.
@@ -81,7 +69,7 @@ func TestDecodeErrorsSweep(t *testing.T) {
 					if err != nil {
 						t.Fatalf("[%d,%d] e=%d f=%d: DecodeErrors: %v", sh.n, sh.k, ne, f, err)
 					}
-					if !equalInts(got, wantCorrupt) {
+					if !slices.Equal(got, wantCorrupt) {
 						t.Fatalf("[%d,%d] e=%d f=%d: corrupt = %v, want %v", sh.n, sh.k, ne, f, got, wantCorrupt)
 					}
 					for i := range orig {
@@ -117,7 +105,7 @@ func TestDecodeErrorsMatchesBruteOracle(t *testing.T) {
 			if errFast != nil || errBrute != nil {
 				t.Fatalf("[%d,%d] e=%d f=%d: fast err %v, brute err %v", sh.n, sh.k, ne, f, errFast, errBrute)
 			}
-			if !equalInts(gotFast, gotBrute) {
+			if !slices.Equal(gotFast, gotBrute) {
 				t.Fatalf("[%d,%d] e=%d f=%d: fast corrupt %v, brute %v", sh.n, sh.k, ne, f, gotFast, gotBrute)
 			}
 			for i := range orig {
@@ -150,7 +138,7 @@ func TestDecodeErrorsKernelLadder(t *testing.T) {
 		if err != nil {
 			t.Fatalf("kernel %s: DecodeErrors: %v", kern, err)
 		}
-		if !equalInts(got, wantCorrupt) {
+		if !slices.Equal(got, wantCorrupt) {
 			t.Fatalf("kernel %s: corrupt = %v, want %v", kern, got, wantCorrupt)
 		}
 		for i := range orig {
@@ -178,7 +166,7 @@ func TestDecodeErrorsStriped(t *testing.T) {
 	if err != nil {
 		t.Fatalf("DecodeErrors: %v", err)
 	}
-	if !equalInts(got, wantCorrupt) {
+	if !slices.Equal(got, wantCorrupt) {
 		t.Fatalf("corrupt = %v, want %v", got, wantCorrupt)
 	}
 	for i := range orig {
@@ -206,7 +194,7 @@ func TestDecodeErrorsScatteredCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatalf("DecodeErrors: %v", err)
 	}
-	if !equalInts(got, []int{3, 10}) {
+	if !slices.Equal(got, []int{3, 10}) {
 		t.Fatalf("corrupt = %v, want [3 10]", got)
 	}
 	for i := range orig {
@@ -352,7 +340,7 @@ func TestDecodeErrorsInto(t *testing.T) {
 	if err != nil {
 		t.Fatalf("DecodeErrorsInto: %v", err)
 	}
-	if !equalInts(got, []int{7}) {
+	if !slices.Equal(got, []int{7}) {
 		t.Fatalf("corrupt = %v, want [7]", got)
 	}
 	if &got[0] != &corrupt[:1][0] {
@@ -446,7 +434,7 @@ func TestDecodeErrorsErrataCache(t *testing.T) {
 	}
 	shards := cloneShards(orig)
 	corruptShard(rng, shards, 6)
-	if got, err := noCache.DecodeErrors(shards); err != nil || !equalInts(got, []int{6}) {
+	if got, err := noCache.DecodeErrors(shards); err != nil || !slices.Equal(got, []int{6}) {
 		t.Fatalf("uncached decode = (%v, %v)", got, err)
 	}
 }
@@ -546,7 +534,7 @@ func TestConcurrentDecodeErrors(t *testing.T) {
 					t.Errorf("DecodeErrors: %v", err)
 					return
 				}
-				if !equalInts(got, []int{bad}) {
+				if !slices.Equal(got, []int{bad}) {
 					t.Errorf("corrupt = %v, want [%d]", got, bad)
 					return
 				}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
+	"slices"
 	"testing"
 
 	"repro/internal/gf256"
@@ -67,7 +68,7 @@ func FuzzDecodeErrors(f *testing.F) {
 			if err != nil {
 				t.Fatalf("kernel %s [%d,%d] e=%d f=%d size=%d: DecodeErrors: %v", kern, n, k, ne, nf, size, err)
 			}
-			if !equalInts(got, wantCorrupt) {
+			if !slices.Equal(got, wantCorrupt) {
 				t.Fatalf("kernel %s [%d,%d]: corrupt = %v, want %v", kern, n, k, got, wantCorrupt)
 			}
 			for i := range orig {
@@ -82,7 +83,7 @@ func FuzzDecodeErrors(f *testing.F) {
 		if err != nil {
 			t.Fatalf("[%d,%d] e=%d f=%d: oracle: %v", n, k, ne, nf, err)
 		}
-		if !equalInts(gotBrute, wantCorrupt) {
+		if !slices.Equal(gotBrute, wantCorrupt) {
 			t.Fatalf("[%d,%d]: oracle corrupt = %v, want %v", n, k, gotBrute, wantCorrupt)
 		}
 		for i := range orig {

@@ -51,6 +51,9 @@ func WithGenerator(g Generator) Option {
 	}
 }
 
+// Generator reports the strategy the Encoder was built with.
+func (e *Encoder) Generator() Generator { return e.genKind }
+
 // syndromeStructure is the per-strategy algebra the error decoder
 // needs: the parity-check matrix whose rows are the syndrome
 // coefficients, plus the locator point and column multiplier of every

@@ -49,6 +49,9 @@ type workerPool struct {
 	mu     sync.Mutex
 	closed bool
 	stop   chan struct{}
+	// started records whether the workers were ever spawned; tests use
+	// it to assert that a closed pool never starts goroutines.
+	started bool
 }
 
 func newWorkerPool(size int) *workerPool {
@@ -60,9 +63,19 @@ func newWorkerPool(size int) *workerPool {
 }
 
 // ensure starts the workers on first use, so an Encoder that never
-// codes anything above the stripe threshold costs no goroutines.
+// codes anything above the stripe threshold costs no goroutines. It is
+// a no-op on a closed pool: striped calls after Close must not spawn
+// workers whose only act would be to observe the closed stop channel
+// and exit (trySubmit already refuses their tasks, so the caller codes
+// everything inline). The mutex orders the check against close().
 func (p *workerPool) ensure() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
 	p.start.Do(func() {
+		p.started = true
 		for i := 0; i < p.size; i++ {
 			go p.worker()
 		}
@@ -108,6 +121,14 @@ func (p *workerPool) trySubmit(t codeTask) bool {
 	default:
 		return false
 	}
+}
+
+// workersStarted reports whether the worker goroutines were ever
+// spawned (race-safely; used by tests).
+func (p *workerPool) workersStarted() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.started
 }
 
 func (p *workerPool) close() {

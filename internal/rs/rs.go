@@ -228,8 +228,12 @@ func (e *Encoder) Close() {
 // Encode fills the parity shards shards[k..n-1] from the data shards
 // shards[0..k-1]. Data shards must all be present with equal size.
 // Parity shards may be missing (nil or zero length, matching
-// Reconstruct's convention; they are allocated) or preallocated at the
-// data size, in which case the call does not allocate.
+// Reconstruct's convention) or preallocated at the data size. A missing
+// parity entry whose capacity already covers the data size — the
+// buf[:0] convention ReconstructInto documents — is resliced in place;
+// only entries with insufficient capacity are allocated, so a caller
+// that provisions capacity keeps its buffers and the call stays
+// allocation-free.
 func (e *Encoder) Encode(shards [][]byte) error {
 	if len(shards) != e.n {
 		return fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), e.n)
@@ -247,7 +251,11 @@ func (e *Encoder) Encode(shards [][]byte) error {
 	}
 	for i := e.k; i < e.n; i++ {
 		if len(shards[i]) == 0 {
-			shards[i] = make([]byte, size)
+			if cap(shards[i]) >= size {
+				shards[i] = shards[i][:size]
+			} else {
+				shards[i] = make([]byte, size)
+			}
 		}
 	}
 	e.codeStriped(e.parityCoeffs, shards[:e.k], shards[e.k:], size)
@@ -307,20 +315,18 @@ func (e *Encoder) Verify(shards [][]byte) (bool, error) {
 	vs := e.getVerifyScratch(np * chunk)
 	defer e.putVerifyScratch(vs)
 	buf := vs.buf[:np*chunk]
-	// bad collects every mismatching parity index; it is nil until the
-	// first mismatch so the match path stays allocation-free. A parity
-	// shard already known bad is skipped in later chunks, and the scan
-	// stops early once every parity shard is flagged.
-	var bad []int
-	flagged := func(idx int) bool {
-		for _, b := range bad {
-			if b == idx {
-				return true
-			}
-		}
-		return false
+	// live holds the parity indices not yet flagged as mismatching; the
+	// outputs and coefficient rows handed to the kernels are compacted
+	// to it per chunk, so a shard flagged bad stops costing kernel work
+	// for the rest of the scan, and the scan stops outright once every
+	// parity shard is flagged. bad stays nil until the first mismatch so
+	// the match path is allocation-free.
+	live := vs.live[:0]
+	for i := 0; i < np; i++ {
+		live = append(live, e.k+i)
 	}
-	for lo := 0; lo < size && len(bad) < np; lo += chunk {
+	var bad []int
+	for lo := 0; lo < size && len(live) > 0; lo += chunk {
 		hi := lo + chunk
 		if hi > size {
 			hi = size
@@ -329,15 +335,25 @@ func (e *Encoder) Verify(shards [][]byte) (bool, error) {
 		for j := 0; j < e.k; j++ {
 			vs.ins[j] = shards[j][lo:hi]
 		}
-		for i := 0; i < np; i++ {
-			vs.outs[i] = buf[i*chunk : i*chunk+m]
+		nl := len(live)
+		for s, idx := range live {
+			vs.outs[s] = buf[s*chunk : s*chunk+m]
+			vs.coefs[s] = e.parityCoeffs[idx-e.k]
 		}
-		codeRange(e.parityCoeffs, vs.ins, vs.outs, 0, m)
-		for i := 0; i < np; i++ {
-			if !flagged(e.k+i) && !bytes.Equal(vs.outs[i], shards[e.k+i][lo:hi]) {
-				bad = append(bad, e.k+i)
+		if testHookVerifyChunk != nil {
+			testHookVerifyChunk(nl)
+		}
+		codeRange(vs.coefs[:nl], vs.ins, vs.outs[:nl], 0, m)
+		w := 0
+		for s, idx := range live {
+			if bytes.Equal(vs.outs[s], shards[idx][lo:hi]) {
+				live[w] = idx
+				w++
+			} else {
+				bad = append(bad, idx)
 			}
 		}
+		live = live[:w]
 	}
 	if bad != nil {
 		slices.Sort(bad) // chunks flag indices in detection order
@@ -345,6 +361,10 @@ func (e *Encoder) Verify(shards [][]byte) (bool, error) {
 	}
 	return true, nil
 }
+
+// testHookVerifyChunk, when non-nil, observes the number of unflagged
+// parity outputs Verify hands to the kernels for each chunk. Test-only.
+var testHookVerifyChunk func(liveOutputs int)
 
 // verifyChunk bounds Verify's scratch buffer per parity shard.
 const verifyChunk = 64 << 10
@@ -590,17 +610,21 @@ func (e *Encoder) CacheStats() (hits, misses uint64, entries int) {
 
 // verifyScratch recycles Verify's recomputed-parity buffer and views.
 type verifyScratch struct {
-	buf  []byte
-	ins  [][]byte
-	outs [][]byte
+	buf   []byte
+	ins   [][]byte
+	outs  [][]byte
+	coefs [][]byte
+	live  []int
 }
 
 func (e *Encoder) getVerifyScratch(need int) *verifyScratch {
 	vs, _ := e.verscratch.Get().(*verifyScratch)
 	if vs == nil {
 		vs = &verifyScratch{
-			ins:  make([][]byte, e.k),
-			outs: make([][]byte, e.n-e.k),
+			ins:   make([][]byte, e.k),
+			outs:  make([][]byte, e.n-e.k),
+			coefs: make([][]byte, e.n-e.k),
+			live:  make([]int, 0, e.n-e.k),
 		}
 	}
 	if cap(vs.buf) < need {
@@ -615,6 +639,7 @@ func (e *Encoder) putVerifyScratch(vs *verifyScratch) {
 	}
 	for i := range vs.outs {
 		vs.outs[i] = nil
+		vs.coefs[i] = nil
 	}
 	e.verscratch.Put(vs)
 }

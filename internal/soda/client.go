@@ -1,0 +1,601 @@
+package soda
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	// ErrUnavailable is returned when more servers have failed than
+	// the operation's fault budget f allows.
+	ErrUnavailable = errors.New("soda: too many server failures")
+)
+
+// Conn is a client's handle to one server, implemented by the TCP
+// transport (tcp.go) and the in-process loopback (loopback.go).
+type Conn interface {
+	// Index returns the server's shard index in [0, n).
+	Index() int
+	// GetTag asks for the server's highest stored tag.
+	GetTag(ctx context.Context) (Tag, error)
+	// PutData stores one coded element under a tag.
+	PutData(ctx context.Context, t Tag, elem []byte, vlen int) error
+	// GetData registers readerID with the server, delivers the
+	// server's current state marked Initial, then every relayed
+	// put-data until ctx is cancelled. It blocks for the lifetime of
+	// the subscription and returns nil after a cancellation-driven
+	// unregister; any other return means the server was lost.
+	GetData(ctx context.Context, readerID string, deliver func(Delivery)) error
+}
+
+// validateConns checks that conns cover each shard index of an
+// n-server cluster exactly once.
+func validateConns(conns []Conn, n int) error {
+	if len(conns) != n {
+		return fmt.Errorf("%w: %d conns for an n=%d cluster", ErrConfig, len(conns), n)
+	}
+	seen := make([]bool, n)
+	for _, c := range conns {
+		i := c.Index()
+		if i < 0 || i >= n || seen[i] {
+			return fmt.Errorf("%w: bad or duplicate server index %d", ErrConfig, i)
+		}
+		seen[i] = true
+	}
+	return nil
+}
+
+// quorum runs op against every conn and returns nil once need of them
+// have succeeded, cancelling the stragglers. It fails fast with
+// ErrUnavailable as soon as too many conns have errored for need
+// successes to remain possible.
+func quorum(ctx context.Context, conns []Conn, need int, op func(context.Context, Conn) error) error {
+	qctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	res := make(chan error, len(conns))
+	for _, c := range conns {
+		go func(c Conn) { res <- op(qctx, c) }(c)
+	}
+	oks, errs := 0, 0
+	var firstErr error
+	for range conns {
+		select {
+		case err := <-res:
+			if err == nil {
+				if oks++; oks >= need {
+					return nil
+				}
+			} else {
+				if firstErr == nil {
+					firstErr = err
+				}
+				if errs++; errs > len(conns)-need {
+					return fmt.Errorf("%w: %d of %d servers failed (need %d): %v",
+						ErrUnavailable, errs, len(conns), need, firstErr)
+				}
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return fmt.Errorf("%w: quorum accounting exhausted", ErrUnavailable) // unreachable
+}
+
+// Writer performs SODA's two-phase writes. One Writer owns a writer
+// id — the id must be unique across the cluster's writers, since tags
+// are (ts, id) — and Write serializes itself, so a Writer is safe for
+// concurrent use: two overlapping Writes from one id would otherwise
+// observe the same quorum maximum, mint the same tag for different
+// values, and split the servers between two codewords of one version.
+type Writer struct {
+	id    string
+	codec *Codec
+	conns []Conn
+	f     int
+	mu    sync.Mutex // serializes Write's get-tag -> put-data pair
+}
+
+// WriterOption configures a Writer.
+type WriterOption func(*Writer) error
+
+// WithWriterFaults sets the number of server crashes f the writer
+// rides through: both phases wait on n-f servers. Default (n-k)/2,
+// the paper's bound n >= k + 2f.
+func WithWriterFaults(f int) WriterOption {
+	return func(w *Writer) error {
+		if f < 0 || f >= len(w.conns) {
+			return fmt.Errorf("%w: writer faults f=%d with n=%d", ErrConfig, f, len(w.conns))
+		}
+		w.f = f
+		return nil
+	}
+}
+
+// maxWriterID bounds writer ids: they travel inside every tag on the
+// wire (uint16-length field) and live in every server's state, so
+// they are required to be short.
+const maxWriterID = 255
+
+// NewWriter builds a writer with the given unique id.
+func NewWriter(id string, codec *Codec, conns []Conn, opts ...WriterOption) (*Writer, error) {
+	if id == "" {
+		return nil, fmt.Errorf("%w: empty writer id", ErrConfig)
+	}
+	if len(id) > maxWriterID {
+		return nil, fmt.Errorf("%w: writer id of %d bytes exceeds %d", ErrConfig, len(id), maxWriterID)
+	}
+	if err := validateConns(conns, codec.N()); err != nil {
+		return nil, err
+	}
+	w := &Writer{id: id, codec: codec, conns: conns, f: (codec.N() - codec.K()) / 2}
+	for _, opt := range opts {
+		if err := opt(w); err != nil {
+			return nil, err
+		}
+	}
+	if codec.N()-w.f < codec.K() {
+		return nil, fmt.Errorf("%w: quorum n-f=%d < k=%d", ErrConfig, codec.N()-w.f, codec.K())
+	}
+	return w, nil
+}
+
+// Write performs one atomic write: get-tag, then put-data. It returns
+// the tag the value was written under.
+func (w *Writer) Write(ctx context.Context, value []byte) (Tag, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	tag, err := w.NextTag(ctx)
+	if err != nil {
+		return Tag{}, err
+	}
+	return tag, w.WriteTagged(ctx, tag, value)
+}
+
+// NextTag is the get-tag phase on its own: query all servers, wait
+// for n-f tags, and mint the successor of their maximum. Exposed
+// separately (with WriteTagged) so tests can fault-inject a writer
+// crash between the phases; callers driving the phases by hand own
+// the serialization Write otherwise provides.
+func (w *Writer) NextTag(ctx context.Context) (Tag, error) {
+	var mu sync.Mutex
+	var max Tag
+	err := quorum(ctx, w.conns, len(w.conns)-w.f, func(qctx context.Context, c Conn) error {
+		t, err := c.GetTag(qctx)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		if max.Less(t) {
+			max = t
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return Tag{}, fmt.Errorf("soda: get-tag: %w", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return max.Next(w.id), nil
+}
+
+// WriteTagged is the put-data phase: encode the value and send coded
+// element i to server i, completing on n-f acks.
+func (w *Writer) WriteTagged(ctx context.Context, tag Tag, value []byte) error {
+	shards, err := w.codec.EncodeValue(value)
+	if err != nil {
+		return err
+	}
+	err = quorum(ctx, w.conns, len(w.conns)-w.f, func(qctx context.Context, c Conn) error {
+		return c.PutData(qctx, tag, shards[c.Index()], len(value))
+	})
+	if err != nil {
+		return fmt.Errorf("soda: put-data %v: %w", tag, err)
+	}
+	return nil
+}
+
+// ReadResult is a completed read: the value, the tag it was written
+// under (zero for a never-written register), and — on SODA_err reads
+// — the ascending indices of servers whose elements were located as
+// corrupt and should be quarantined.
+type ReadResult struct {
+	Tag     Tag
+	Value   []byte
+	Corrupt []int
+}
+
+// Reader performs SODA's relayed reads. Safe for concurrent use; each
+// Read registers under a fresh reader id.
+type Reader struct {
+	id         string
+	codec      *Codec
+	conns      []Conn
+	f          int
+	e          int
+	quarantine []int
+}
+
+// ReaderOption configures a Reader.
+type ReaderOption func(*Reader) error
+
+// WithReaderFaults sets the number of silent or crashed servers f a
+// read rides through: the target tag is fixed from the first n-f
+// initial responses. Atomicity requires f < k — a read may adopt a
+// tag held by only the k servers whose elements it decoded (a
+// writer's half-applied put), and a later read's n-f initial quorum
+// is guaranteed to intersect those k servers only when k > f; with
+// f >= k, reads could go backwards. Default min((n-k)/2, k-1).
+func WithReaderFaults(f int) ReaderOption {
+	return func(r *Reader) error {
+		if f < 0 || f >= len(r.conns) {
+			return fmt.Errorf("%w: reader faults f=%d with n=%d", ErrConfig, f, len(r.conns))
+		}
+		if f >= r.codec.K() {
+			return fmt.Errorf("%w: reader faults f=%d >= k=%d (a returned tag may live on only k servers; the next read's n-f quorum must still see one of them)",
+				ErrConfig, f, r.codec.K())
+		}
+		r.f = f
+		return nil
+	}
+}
+
+// WithReadErrors turns on the SODA_err read path: the reader waits
+// for k+2e coded elements of a matching tag, verifies them, and runs
+// the rs error decoder to locate up to e silently corrupt servers,
+// reported in ReadResult.Corrupt. Requires the rs-view generator.
+func WithReadErrors(e int) ReaderOption {
+	return func(r *Reader) error {
+		if e < 0 {
+			return fmt.Errorf("%w: read errors e=%d", ErrConfig, e)
+		}
+		if e > 0 && r.codec.MaxReadErrors() < e {
+			return fmt.Errorf("%w: e=%d corrupt servers exceeds the codec's radius %d (need rs.WithGenerator(rs.GeneratorRSView) and 2e <= n-k)",
+				ErrConfig, e, r.codec.MaxReadErrors())
+		}
+		r.e = e
+		return nil
+	}
+}
+
+// WithQuarantine excludes servers a previous SODA_err read located as
+// corrupt: the read never contacts them, charging them to the fault
+// budget f instead.
+func WithQuarantine(servers ...int) ReaderOption {
+	return func(r *Reader) error {
+		for _, s := range servers {
+			if s < 0 || s >= len(r.conns) {
+				return fmt.Errorf("%w: quarantined server %d out of range", ErrConfig, s)
+			}
+		}
+		r.quarantine = slices.Clone(servers)
+		return nil
+	}
+}
+
+// NewReader builds a reader with the given id prefix.
+func NewReader(id string, codec *Codec, conns []Conn, opts ...ReaderOption) (*Reader, error) {
+	if id == "" {
+		return nil, fmt.Errorf("%w: empty reader id", ErrConfig)
+	}
+	if err := validateConns(conns, codec.N()); err != nil {
+		return nil, err
+	}
+	f := (codec.N() - codec.K()) / 2
+	if f > codec.K()-1 {
+		f = codec.K() - 1 // see WithReaderFaults: atomicity needs f < k
+	}
+	r := &Reader{id: id, codec: codec, conns: conns, f: f}
+	for _, opt := range opts {
+		if err := opt(r); err != nil {
+			return nil, err
+		}
+	}
+	if need := codec.K() + 2*r.e; codec.N()-r.f < need {
+		return nil, fmt.Errorf("%w: read quorum n-f=%d < k+2e=%d", ErrConfig, codec.N()-r.f, need)
+	}
+	return r, nil
+}
+
+// procToken plus the package-wide readSeq make registration ids
+// unique across Reader instances and across processes, so readers
+// that happen to share an id prefix cannot clobber each other's
+// registrations at the servers.
+var (
+	procToken = func() string {
+		var b [4]byte
+		if _, err := cryptorand.Read(b[:]); err != nil {
+			return fmt.Sprintf("p%d", os.Getpid())
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	readSeq atomic.Uint64
+)
+
+// Read performs one atomic read. It blocks until enough servers have
+// responded (or relayed a concurrent write) to pin down a value, or
+// until ctx is cancelled.
+func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
+	rid := fmt.Sprintf("%s-%s#%d", r.id, procToken, readSeq.Add(1))
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	st := &readState{
+		r:        r,
+		initials: make(map[int]Tag, len(r.conns)),
+		tags:     make(map[version]*tagState),
+		lost:     make(map[int]bool, len(r.conns)),
+		done:     make(chan struct{}),
+	}
+	for _, q := range r.quarantine {
+		st.lose(q, errors.New("quarantined"))
+	}
+	for _, c := range r.conns {
+		if slices.Contains(r.quarantine, c.Index()) {
+			continue
+		}
+		go func(c Conn) {
+			err := c.GetData(rctx, rid, st.add)
+			if rctx.Err() == nil {
+				// The subscription died while the read still wanted
+				// it: a crashed or closing server. Anything it already
+				// delivered stays usable.
+				if err == nil {
+					err = errors.New("server closed the data stream")
+				}
+				st.lose(c.Index(), err)
+			}
+		}(c)
+	}
+
+	select {
+	case <-st.done:
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if st.err != nil {
+			return ReadResult{}, st.err
+		}
+		return st.result, nil
+	case <-ctx.Done():
+		return ReadResult{}, ctx.Err()
+	}
+}
+
+// version identifies one write as a read sees it: the tag plus the
+// value length the delivering server claimed. Keying collected
+// elements by the pair (rather than trusting the first server to
+// report vlen for a tag) means a corrupt server lying about the
+// length only pollutes its own bucket — the honest servers' elements
+// still accumulate and decode.
+type version struct {
+	tag  Tag
+	vlen int
+}
+
+// tagState accumulates the coded elements a read has collected for
+// one version.
+type tagState struct {
+	elems map[int][]byte
+	tried int // element count at the last failed decode attempt
+}
+
+// readState is the mutable heart of one Read: deliveries from all
+// server subscriptions funnel into add, which re-evaluates the
+// completion rule.
+type readState struct {
+	r  *Reader
+	mu sync.Mutex
+
+	initials   map[int]Tag // server -> tag of its Initial delivery
+	tags       map[version]*tagState
+	lost       map[int]bool // quarantined, crashed, or stream-dead servers
+	tTargetSet bool
+	tTarget    Tag
+
+	finished bool
+	result   ReadResult
+	err      error
+	done     chan struct{}
+}
+
+func (st *readState) finish(res ReadResult, err error) {
+	// mu held.
+	if st.finished {
+		return
+	}
+	st.finished = true
+	st.result, st.err = res, err
+	close(st.done)
+}
+
+// lose records a dead server (quarantined, crashed, or stream gone)
+// and fails the read only once completion has become impossible.
+// Deliveries already received from a now-dead server stay usable — a
+// server that crashes after answering is the normal fault model — so
+// the check reasons about what can still arrive, not a bare failure
+// count.
+func (st *readState) lose(server int, cause error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.finished || st.lost[server] {
+		return
+	}
+	st.lost[server] = true
+	n := len(st.r.conns)
+	aliveNew := 0 // live servers that have not yet sent their initial
+	for i := 0; i < n; i++ {
+		if _, got := st.initials[i]; !got && !st.lost[i] {
+			aliveNew++
+		}
+	}
+	// The target tag needs initial responses from n-f distinct
+	// servers; initials already in hand count even if their server
+	// died since.
+	if !st.tTargetSet && len(st.initials)+aliveNew < n-st.r.f {
+		st.finish(ReadResult{}, fmt.Errorf("%w: server %d lost (%v); %d initial responses reachable, need %d",
+			ErrUnavailable, server, cause, len(st.initials)+aliveNew, n-st.r.f))
+		return
+	}
+	// Completion needs k+2e elements of one version. A future write
+	// can still supply them through every live server; failing that,
+	// an already-seen version can be completed by live servers that
+	// have not contributed to it yet.
+	need := st.r.codec.K() + 2*st.r.e
+	if n-len(st.lost) >= need {
+		return
+	}
+	achievable := 0
+	for v, ts := range st.tags {
+		if st.tTargetSet && v.tag.Less(st.tTarget) {
+			continue
+		}
+		got := len(ts.elems)
+		for i := 0; i < n; i++ {
+			if _, has := ts.elems[i]; !has && !st.lost[i] {
+				got++
+			}
+		}
+		if got > achievable {
+			achievable = got
+		}
+	}
+	if achievable < need {
+		st.finish(ReadResult{}, fmt.Errorf("%w: server %d lost (%v); at most %d elements of any version remain reachable, need %d",
+			ErrUnavailable, server, cause, achievable, need))
+	}
+}
+
+// add folds one delivery into the read state and checks completion.
+func (st *readState) add(d Delivery) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.finished {
+		return
+	}
+	if d.Initial {
+		if _, ok := st.initials[d.Server]; !ok {
+			st.initials[d.Server] = d.Tag
+		}
+	}
+	// Accept only well-formed elements: consistent with the claimed
+	// value length. A malformed element is simply never counted, so
+	// its server contributes nothing to this version.
+	if !d.Tag.IsZero() && d.VLen > 0 && len(d.Elem) == st.r.codec.shardSize(d.VLen) {
+		v := version{tag: d.Tag, vlen: d.VLen}
+		ts := st.tags[v]
+		if ts == nil {
+			ts = &tagState{elems: make(map[int][]byte)}
+			st.tags[v] = ts
+		}
+		if _, ok := ts.elems[d.Server]; !ok {
+			ts.elems[d.Server] = d.Elem
+		}
+	}
+	st.check()
+}
+
+// check applies the completion rule: once initial responses from n-f
+// servers fix tTarget (their maximum tag), the read completes with
+// any tag >= tTarget holding k+2e coded elements that decode. A zero
+// tTarget means the register was unwritten at every quorum server:
+// the read returns the initial empty value.
+func (st *readState) check() {
+	// mu held.
+	n := len(st.r.conns)
+	if !st.tTargetSet {
+		if len(st.initials) < n-st.r.f {
+			return
+		}
+		for _, t := range st.initials {
+			if st.tTarget.Less(t) {
+				st.tTarget = t
+			}
+		}
+		st.tTargetSet = true
+	}
+	need := st.r.codec.K() + 2*st.r.e
+	var cands []version
+	for v, ts := range st.tags {
+		if !v.tag.Less(st.tTarget) && len(ts.elems) >= need && len(ts.elems) > ts.tried {
+			cands = append(cands, v)
+		}
+	}
+	// Newest first: under write concurrency the freshest decodable
+	// version is the one to return.
+	sort.Slice(cands, func(i, j int) bool {
+		if c := cands[i].tag.Compare(cands[j].tag); c != 0 {
+			return c > 0
+		}
+		return cands[i].vlen > cands[j].vlen
+	})
+	for _, v := range cands {
+		ts := st.tags[v]
+		if res, ok := st.decode(v, ts); ok {
+			st.finish(res, nil)
+			return
+		}
+		ts.tried = len(ts.elems)
+	}
+	if st.tTarget.IsZero() {
+		st.finish(ReadResult{}, nil)
+	}
+}
+
+// decode attempts to turn the elements collected for tag t into a
+// value. With e == 0 it erasure-decodes from any k elements. With
+// e > 0 (SODA_err) it runs Verify when all n elements are present —
+// the cheap all-healthy fast path — and otherwise the syndrome error
+// decoder, which locates up to e corrupt servers; the guarantee holds
+// because k+2e present elements leave at most n-k-2e erasures, inside
+// the decoding radius. A failed decode (corruption beyond e) reports
+// !ok and the read keeps waiting for more relays.
+func (st *readState) decode(v version, ts *tagState) (ReadResult, bool) {
+	codec := st.r.codec
+	n, k := codec.N(), codec.K()
+	shards := make([][]byte, n)
+	present := 0
+	for i, el := range ts.elems {
+		// Clone: the decoders repair in place, and delivered elements
+		// may alias server storage (loopback) or later decode tries.
+		shards[i] = slices.Clone(el)
+		present++
+	}
+	need := k + 2*st.r.e
+	if present < need {
+		return ReadResult{}, false
+	}
+
+	var corrupt []int
+	if st.r.e == 0 {
+		if err := codec.enc.ReconstructData(shards); err != nil {
+			return ReadResult{}, false
+		}
+	} else {
+		runDecode := true
+		if present == n {
+			if ok, _ := codec.enc.Verify(shards); ok {
+				runDecode = false // all elements healthy
+			}
+		}
+		if runDecode {
+			var err error
+			corrupt, err = codec.enc.DecodeErrors(shards)
+			if err != nil {
+				return ReadResult{}, false
+			}
+		}
+	}
+	value, err := codec.DecodeValue(shards, v.vlen)
+	if err != nil {
+		return ReadResult{}, false
+	}
+	return ReadResult{Tag: v.tag, Value: value, Corrupt: corrupt}, true
+}

@@ -1,0 +1,101 @@
+package soda
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rs"
+)
+
+var (
+	// ErrEmptyValue is returned by writes of a zero-length value; the
+	// register's initial state already is the empty value.
+	ErrEmptyValue = errors.New("soda: empty value")
+	// ErrConfig is returned for unusable writer/reader/cluster
+	// configurations.
+	ErrConfig = errors.New("soda: invalid configuration")
+)
+
+// Codec turns register values into the n coded elements SODA servers
+// store, and back. Server i always receives codeword shard i, so the
+// shard index is the server's identity in the code. It is safe for
+// concurrent use.
+type Codec struct {
+	enc *rs.Encoder
+}
+
+// NewCodec builds the [n, k] codec a cluster of n servers shares.
+// Options pass through to rs.New — in particular
+// rs.WithGenerator(rs.GeneratorRSView) is required for SODA_err
+// readers (WithReadErrors).
+func NewCodec(n, k int, opts ...rs.Option) (*Codec, error) {
+	enc, err := rs.New(n, k, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Codec{enc: enc}, nil
+}
+
+// N returns the number of servers (total shards).
+func (c *Codec) N() int { return c.enc.N() }
+
+// K returns the number of coded elements a read must gather.
+func (c *Codec) K() int { return c.enc.K() }
+
+// Generator reports the underlying generator strategy.
+func (c *Codec) Generator() rs.Generator { return c.enc.Generator() }
+
+// MaxReadErrors returns the largest e usable with WithReadErrors: the
+// number of corrupt elements the codec can locate with no erasures,
+// or 0 when the generator has no syndrome structure.
+func (c *Codec) MaxReadErrors() int { return c.enc.MaxErrors(0) }
+
+// shardSize is the coded-element size for a value of vlen bytes: the
+// value is cut into k equal data shards, zero-padding the last.
+func (c *Codec) shardSize(vlen int) int {
+	k := c.enc.K()
+	return (vlen + k - 1) / k
+}
+
+// EncodeValue encodes a value into its n coded elements: shards
+// 0..k-1 are the value itself (systematic code, zero-padded to equal
+// size) and shards k..n-1 are parity. Element i belongs to server i.
+func (c *Codec) EncodeValue(value []byte) ([][]byte, error) {
+	if len(value) == 0 {
+		return nil, ErrEmptyValue
+	}
+	n := c.enc.N()
+	s := c.shardSize(len(value))
+	buf := make([]byte, n*s)
+	copy(buf, value) // the k data shards are the leading k*s bytes
+	shards := make([][]byte, n)
+	for i := range shards {
+		shards[i] = buf[i*s : (i+1)*s]
+	}
+	if err := c.enc.EncodeInto(shards); err != nil {
+		return nil, err
+	}
+	return shards, nil
+}
+
+// DecodeValue reassembles a value of vlen bytes from the k data
+// shards (shards[0..k-1] must be present at the element size for
+// vlen; parity entries are ignored).
+func (c *Codec) DecodeValue(shards [][]byte, vlen int) ([]byte, error) {
+	if vlen <= 0 {
+		return nil, fmt.Errorf("%w: value length %d", ErrConfig, vlen)
+	}
+	k := c.enc.K()
+	s := c.shardSize(vlen)
+	if len(shards) < k {
+		return nil, fmt.Errorf("%w: %d shards, need the %d data shards", ErrConfig, len(shards), k)
+	}
+	out := make([]byte, k*s)
+	for i := 0; i < k; i++ {
+		if len(shards[i]) != s {
+			return nil, fmt.Errorf("%w: data shard %d has %d bytes, want %d", ErrConfig, i, len(shards[i]), s)
+		}
+		copy(out[i*s:], shards[i])
+	}
+	return out[:vlen], nil
+}

@@ -1,0 +1,205 @@
+package soda
+
+import (
+	"context"
+	"errors"
+	"slices"
+	"sync"
+)
+
+// ErrServerDown is what loopback conns return for a fail-stop-crashed
+// server, standing in for a refused connection.
+var ErrServerDown = errors.New("soda: server is down")
+
+// Loopback is an in-process cluster of n SODA servers with
+// synchronous, deterministic message delivery — every client call
+// runs the server state machine on the calling goroutine, and every
+// relay runs on the goroutine of the put that triggered it — plus
+// fault injection:
+//
+//   - Crash: fail-stop; the server's conns error immediately and its
+//     registered readers stop hearing relays.
+//   - Hang: silent crash; the server never answers, callers block
+//     until their context ends. This is the pure crash model the
+//     protocol's quorums are sized for.
+//   - Corrupt: the server's storage rots; every element it serves or
+//     relays first passes through a caller-supplied transform, which
+//     is what the SODA_err read path exists to catch.
+//
+// Loopback is the substrate for deterministic protocol tests and the
+// sodademo binary.
+type Loopback struct {
+	mu        sync.Mutex
+	servers   []*Server
+	crashed   []bool
+	hung      []bool
+	down      []chan struct{} // closed by Crash: ends in-flight subscriptions
+	corrupt   []func([]byte) []byte
+	onDeliver func(server int, readerID string, d Delivery)
+}
+
+// NewLoopback builds an n-server in-process cluster.
+func NewLoopback(n int) *Loopback {
+	lb := &Loopback{
+		servers: make([]*Server, n),
+		crashed: make([]bool, n),
+		hung:    make([]bool, n),
+		down:    make([]chan struct{}, n),
+		corrupt: make([]func([]byte) []byte, n),
+	}
+	for i := range lb.servers {
+		lb.servers[i] = NewServer(i)
+		lb.down[i] = make(chan struct{})
+	}
+	return lb
+}
+
+// Server exposes server i's state machine for inspection.
+func (l *Loopback) Server(i int) *Server { return l.servers[i] }
+
+// Conns returns a fresh conn set for the cluster.
+func (l *Loopback) Conns() []Conn {
+	conns := make([]Conn, len(l.servers))
+	for i := range conns {
+		conns[i] = &loopConn{lb: l, idx: i}
+	}
+	return conns
+}
+
+// Crash fail-stops server i: future operations against it error,
+// in-flight get-data subscriptions end with ErrServerDown (the TCP
+// analogue: the connection dies), and its registered readers are
+// dropped so it relays to nobody.
+func (l *Loopback) Crash(i int) {
+	l.mu.Lock()
+	if !l.crashed[i] {
+		l.crashed[i] = true
+		close(l.down[i])
+	}
+	l.mu.Unlock()
+	l.servers[i].UnregisterAll()
+}
+
+// Hang silently crashes server i: it stops answering but connections
+// do not fail. Its registered readers are likewise dropped.
+func (l *Loopback) Hang(i int) {
+	l.mu.Lock()
+	l.hung[i] = true
+	l.mu.Unlock()
+	l.servers[i].UnregisterAll()
+}
+
+// Corrupt installs a storage-rot transform for server i: every
+// element it serves from now on is passed through fn (on a copy — the
+// underlying storage stays intact, modeling a bad disk sector or a
+// bit-flipping NIC rather than a helpful repair).
+func (l *Loopback) Corrupt(i int, fn func([]byte) []byte) {
+	l.mu.Lock()
+	l.corrupt[i] = fn
+	l.mu.Unlock()
+}
+
+// FlipByte is a ready-made Corrupt transform: XOR the byte at off.
+func FlipByte(off int) func([]byte) []byte {
+	return func(b []byte) []byte {
+		if len(b) > 0 {
+			b[off%len(b)] ^= 0x5A
+		}
+		return b
+	}
+}
+
+// OnDeliver installs a hook invoked synchronously after each delivery
+// to a reader, with no loopback locks held — tests use it to inject
+// faults at exact protocol moments (for example, crash a server right
+// after its initial response reaches a reader).
+func (l *Loopback) OnDeliver(fn func(server int, readerID string, d Delivery)) {
+	l.mu.Lock()
+	l.onDeliver = fn
+	l.mu.Unlock()
+}
+
+// state samples the fault flags for server i.
+func (l *Loopback) state(i int) (crashed, hung bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.crashed[i], l.hung[i]
+}
+
+// transform applies server i's corruption, if any, to a copy of the
+// delivery's element.
+func (l *Loopback) transform(i int, d Delivery) Delivery {
+	l.mu.Lock()
+	fn := l.corrupt[i]
+	l.mu.Unlock()
+	if fn != nil && len(d.Elem) > 0 {
+		d.Elem = fn(slices.Clone(d.Elem))
+	}
+	return d
+}
+
+func (l *Loopback) hook() func(server int, readerID string, d Delivery) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.onDeliver
+}
+
+// loopConn is the in-process Conn for one server.
+type loopConn struct {
+	lb  *Loopback
+	idx int
+}
+
+func (c *loopConn) Index() int { return c.idx }
+
+// gate applies the fault flags: error when crashed, block forever
+// when hung.
+func (c *loopConn) gate(ctx context.Context) error {
+	crashed, hung := c.lb.state(c.idx)
+	if crashed {
+		return ErrServerDown
+	}
+	if hung {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	return nil
+}
+
+func (c *loopConn) GetTag(ctx context.Context) (Tag, error) {
+	if err := c.gate(ctx); err != nil {
+		return Tag{}, err
+	}
+	return c.lb.servers[c.idx].GetTag(), nil
+}
+
+func (c *loopConn) PutData(ctx context.Context, t Tag, elem []byte, vlen int) error {
+	if err := c.gate(ctx); err != nil {
+		return err
+	}
+	c.lb.servers[c.idx].PutData(t, elem, vlen)
+	return nil
+}
+
+func (c *loopConn) GetData(ctx context.Context, readerID string, deliver func(Delivery)) error {
+	if err := c.gate(ctx); err != nil {
+		return err
+	}
+	wrap := func(d Delivery) {
+		d = c.lb.transform(c.idx, d)
+		deliver(d)
+		if fn := c.lb.hook(); fn != nil {
+			fn(c.idx, readerID, d)
+		}
+	}
+	srv := c.lb.servers[c.idx]
+	initial := srv.Register(readerID, wrap)
+	defer srv.Unregister(readerID)
+	wrap(initial)
+	select {
+	case <-ctx.Done():
+		return nil
+	case <-c.lb.down[c.idx]:
+		return ErrServerDown
+	}
+}

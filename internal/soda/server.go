@@ -1,0 +1,125 @@
+package soda
+
+import "sync"
+
+// Delivery is one (tag, coded element) message from a server to a
+// reader: either the server's current state at registration time
+// (Initial) or the relay of a put-data that arrived while the reader
+// was registered. A server that has never been written delivers the
+// zero Tag with a nil element.
+type Delivery struct {
+	Server  int
+	Tag     Tag
+	Elem    []byte
+	VLen    int
+	Initial bool
+}
+
+// registration is one registered reader: the relay sink plus the tag
+// the server held when the reader arrived. Only puts with tag >= treq
+// are relayed — older writes cannot be what this reader is waiting
+// for, because its target tag is the maximum over a quorum of such
+// registration tags.
+type registration struct {
+	treq Tag
+	sink func(Delivery)
+}
+
+// Server is the SODA server state machine, independent of any
+// transport. It stores exactly one coded element — the one belonging
+// to the highest tag it has seen — plus the registered-reader set,
+// which is the entire per-server cost of the relay-based read
+// protocol. All methods are safe for concurrent use; relay sinks are
+// invoked outside the state lock.
+type Server struct {
+	idx int
+
+	mu      sync.Mutex
+	tag     Tag
+	elem    []byte
+	vlen    int
+	readers map[string]*registration
+}
+
+// NewServer returns the state machine for the server holding codeword
+// shard idx.
+func NewServer(idx int) *Server {
+	return &Server{idx: idx, readers: make(map[string]*registration)}
+}
+
+// Index returns the server's shard index.
+func (s *Server) Index() int { return s.idx }
+
+// GetTag answers the writer's first phase: the highest tag stored.
+func (s *Server) GetTag() Tag {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tag
+}
+
+// PutData answers the writer's second phase: store (t, elem) if t is
+// new, and relay it to every registered reader whose registration tag
+// it satisfies — including readers that arrived after a newer write,
+// since a concurrent reader may be collecting exactly this tag. The
+// server takes ownership of elem.
+func (s *Server) PutData(t Tag, elem []byte, vlen int) {
+	s.mu.Lock()
+	if s.tag.Less(t) {
+		s.tag, s.elem, s.vlen = t, elem, vlen
+	}
+	var sinks []func(Delivery)
+	for _, r := range s.readers {
+		if !t.Less(r.treq) {
+			sinks = append(sinks, r.sink)
+		}
+	}
+	s.mu.Unlock()
+	d := Delivery{Server: s.idx, Tag: t, Elem: elem, VLen: vlen}
+	for _, sink := range sinks {
+		sink(d)
+	}
+}
+
+// Register answers a reader's get-data: record (reader, current tag)
+// in the registration set and return the current state as the initial
+// delivery. The caller (transport) delivers the returned snapshot and
+// every subsequent sink invocation until Unregister.
+func (s *Server) Register(readerID string, sink func(Delivery)) Delivery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readers[readerID] = &registration{treq: s.tag, sink: sink}
+	return Delivery{Server: s.idx, Tag: s.tag, Elem: s.elem, VLen: s.vlen, Initial: true}
+}
+
+// Unregister drops a reader's registration (reader-done, or its
+// connection closing).
+func (s *Server) Unregister(readerID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.readers, readerID)
+}
+
+// UnregisterAll drops every registration; a crashing server relays to
+// nobody.
+func (s *Server) UnregisterAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	clear(s.readers)
+}
+
+// Readers returns the number of registered readers (test/metrics
+// visibility).
+func (s *Server) Readers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.readers)
+}
+
+// Snapshot returns the stored tag, coded element, and value length.
+// The element is the server's live buffer; callers must not mutate
+// it.
+func (s *Server) Snapshot() (Tag, []byte, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tag, s.elem, s.vlen
+}

@@ -1,0 +1,51 @@
+package soda
+
+import "fmt"
+
+// Tag is SODA's version identifier: a logical timestamp paired with
+// the id of the writer that minted it. Tags are totally ordered — by
+// timestamp, then writer id — so concurrent writers that pick the
+// same timestamp are still deterministically ordered, which is what
+// lets every server keep only the single highest-tagged coded
+// element.
+type Tag struct {
+	TS     uint64
+	Writer string
+}
+
+// Compare returns -1, 0, or 1 as t sorts before, equal to, or after o
+// in the (timestamp, writer) lexicographic order.
+func (t Tag) Compare(o Tag) int {
+	switch {
+	case t.TS < o.TS:
+		return -1
+	case t.TS > o.TS:
+		return 1
+	case t.Writer < o.Writer:
+		return -1
+	case t.Writer > o.Writer:
+		return 1
+	}
+	return 0
+}
+
+// Less reports whether t sorts strictly before o.
+func (t Tag) Less(o Tag) bool { return t.Compare(o) < 0 }
+
+// IsZero reports whether t is the initial tag of a never-written
+// register.
+func (t Tag) IsZero() bool { return t.TS == 0 && t.Writer == "" }
+
+// Next returns the tag a writer mints after observing t as the
+// highest tag in its get-tag quorum: the next timestamp, owned by the
+// writer. Next(w) is strictly greater than t and than any tag
+// (t.TS, *).
+func (t Tag) Next(writer string) Tag { return Tag{TS: t.TS + 1, Writer: writer} }
+
+// String renders the tag as (ts, writer).
+func (t Tag) String() string {
+	if t.IsZero() {
+		return "(0,·)"
+	}
+	return fmt.Sprintf("(%d,%s)", t.TS, t.Writer)
+}

@@ -1,0 +1,316 @@
+package soda
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP transport: one NetServer wraps a Server state machine behind a
+// listener, and tcpConn implements the client Conn over per-operation
+// connections. get-tag and put-data are single request/response
+// exchanges; get-data turns its connection into a one-way delivery
+// stream that lives until the reader is done.
+
+// NetServer serves one SODA server over TCP with the wire.go framing.
+type NetServer struct {
+	core *Server
+	ln   net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenAndServe starts serving core on addr (use "127.0.0.1:0" for
+// an ephemeral port) and returns once the listener is live.
+func ListenAndServe(core *Server, addr string) (*NetServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ns := &NetServer{core: core, ln: ln, conns: make(map[net.Conn]struct{})}
+	ns.wg.Add(1)
+	go ns.acceptLoop()
+	return ns, nil
+}
+
+// Addr returns the listener's address, for building client conns.
+func (ns *NetServer) Addr() string { return ns.ln.Addr().String() }
+
+// Close stops the listener, disconnects every client (unregistering
+// their readers), and waits for the handlers to finish. The state
+// machine itself survives — a NetServer can model a server that
+// crashes and later recovers with its storage intact.
+func (ns *NetServer) Close() error {
+	ns.mu.Lock()
+	ns.closed = true
+	err := ns.ln.Close()
+	for c := range ns.conns {
+		c.Close()
+	}
+	ns.mu.Unlock()
+	ns.wg.Wait()
+	return err
+}
+
+func (ns *NetServer) acceptLoop() {
+	defer ns.wg.Done()
+	for {
+		conn, err := ns.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		ns.mu.Lock()
+		if ns.closed {
+			ns.mu.Unlock()
+			conn.Close()
+			return
+		}
+		ns.conns[conn] = struct{}{}
+		ns.wg.Add(1)
+		ns.mu.Unlock()
+		go ns.handle(conn)
+	}
+}
+
+func (ns *NetServer) handle(conn net.Conn) {
+	defer ns.wg.Done()
+	defer func() {
+		ns.mu.Lock()
+		delete(ns.conns, conn)
+		ns.mu.Unlock()
+		conn.Close()
+	}()
+
+	var (
+		rid        string
+		registered bool
+		sink       *relaySink
+	)
+	defer func() {
+		if registered {
+			ns.core.Unregister(rid)
+			sink.close()
+		}
+	}()
+
+	br := bufio.NewReader(conn)
+	var buf []byte
+	for {
+		payload, err := readFrame(br, buf)
+		if err != nil {
+			return
+		}
+		buf = payload
+		switch payload[0] {
+		case msgGetTag:
+			if registered || writeFrame(conn, encodeTagResp(ns.core.GetTag())) != nil {
+				return
+			}
+		case msgPutData:
+			t, elem, vlen, err := decodePutData(payload)
+			if registered || err != nil {
+				return
+			}
+			ns.core.PutData(t, elem, vlen)
+			if writeFrame(conn, encodeAck()) != nil {
+				return
+			}
+		case msgGetData:
+			r, err := decodeGetData(payload)
+			if registered || err != nil {
+				return
+			}
+			rid, registered = r, true
+			// After registration this connection is a one-way
+			// delivery stream owned by the pump goroutine; the read
+			// loop continues only to observe reader-done or EOF.
+			sink = newRelaySink(relayQueueDepth)
+			initial := ns.core.Register(rid, sink.send)
+			sink.send(initial)
+			ns.wg.Add(1)
+			go ns.pump(conn, sink)
+		case msgReaderDone:
+			return // deferred unregister + close
+		default:
+			return
+		}
+	}
+}
+
+// pump drains a registered reader's delivery queue onto its
+// connection. It closes the connection when the queue dies — either
+// the handler is done with it or the reader was too slow and the
+// queue overflowed — so the reader observes the end of the stream.
+func (ns *NetServer) pump(conn net.Conn, sink *relaySink) {
+	defer ns.wg.Done()
+	for d := range sink.ch {
+		if err := writeFrame(conn, encodeData(d)); err != nil {
+			break
+		}
+	}
+	conn.Close()
+}
+
+// relayQueueDepth bounds how many undelivered relays a reader may
+// have in flight before the server declares it dead. Relays are one
+// per concurrent put-data, so depth is write concurrency, not data
+// volume.
+const relayQueueDepth = 1024
+
+// relaySink adapts the Server's synchronous relay callback to a
+// non-blocking bounded queue: a put-data must never block on a slow
+// reader connection.
+type relaySink struct {
+	mu     sync.Mutex
+	ch     chan Delivery
+	closed bool
+}
+
+func newRelaySink(depth int) *relaySink {
+	return &relaySink{ch: make(chan Delivery, depth)}
+}
+
+func (s *relaySink) send(d Delivery) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	select {
+	case s.ch <- d:
+	default:
+		// Overflow: the reader is not draining. Kill the stream
+		// rather than block the server's put-data path.
+		s.closed = true
+		close(s.ch)
+	}
+}
+
+func (s *relaySink) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+}
+
+// tcpConn is the client-side Conn for one server address.
+type tcpConn struct {
+	idx  int
+	addr string
+}
+
+// TCPConn returns a Conn that dials addr for each operation, acting
+// for the server at shard index idx.
+func TCPConn(idx int, addr string) Conn { return &tcpConn{idx: idx, addr: addr} }
+
+// TCPConns builds the conn set for a cluster from its address list,
+// in shard-index order.
+func TCPConns(addrs []string) []Conn {
+	conns := make([]Conn, len(addrs))
+	for i, a := range addrs {
+		conns[i] = TCPConn(i, a)
+	}
+	return conns
+}
+
+func (c *tcpConn) Index() int { return c.idx }
+
+func (c *tcpConn) dial(ctx context.Context) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", c.addr)
+}
+
+// unary performs one request/response exchange.
+func (c *tcpConn) unary(ctx context.Context, req []byte) ([]byte, error) {
+	conn, err := c.dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	}
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Unix(0, 1)) })
+	defer stop()
+	if err := writeFrame(conn, req); err != nil {
+		return nil, err
+	}
+	payload, err := readFrame(bufio.NewReader(conn), nil)
+	if err != nil && ctx.Err() != nil {
+		err = ctx.Err()
+	}
+	return payload, err
+}
+
+func (c *tcpConn) GetTag(ctx context.Context) (Tag, error) {
+	payload, err := c.unary(ctx, encodeGetTag())
+	if err != nil {
+		return Tag{}, err
+	}
+	return decodeTagResp(payload)
+}
+
+func (c *tcpConn) PutData(ctx context.Context, t Tag, elem []byte, vlen int) error {
+	payload, err := c.unary(ctx, encodePutData(t, elem, vlen))
+	if err != nil {
+		return err
+	}
+	if len(payload) != 1 || payload[0] != msgAck {
+		return fmt.Errorf("%w: put-data response", ErrFrame)
+	}
+	return nil
+}
+
+func (c *tcpConn) GetData(ctx context.Context, readerID string, deliver func(Delivery)) error {
+	conn, err := c.dial(ctx)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	// On cancellation, tell the server the reader is done (best
+	// effort) and tear the stream down; the blocked readFrame below
+	// then fails and the nil return reports a clean unsubscribe. The
+	// mutex keeps the reader-done frame from interleaving with the
+	// registration frame if cancellation lands mid-write.
+	var wmu sync.Mutex
+	stop := context.AfterFunc(ctx, func() {
+		wmu.Lock()
+		conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+		writeFrame(conn, encodeReaderDone())
+		wmu.Unlock()
+		conn.Close()
+	})
+	defer stop()
+	wmu.Lock()
+	err = writeFrame(conn, encodeGetData(readerID))
+	wmu.Unlock()
+	if err != nil {
+		return err
+	}
+	br := bufio.NewReader(conn)
+	var buf []byte
+	for {
+		payload, err := readFrame(br, buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil // our own cancellation
+			}
+			return err
+		}
+		buf = payload // reuse: decodeData copies the element out
+		d, err := decodeData(payload)
+		if err != nil {
+			return err
+		}
+		d.Server = c.idx
+		deliver(d)
+	}
+}

@@ -1,0 +1,121 @@
+package soda
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+// startTCPCluster brings up n NetServers on ephemeral localhost ports
+// and returns their conns.
+func startTCPCluster(t *testing.T, n int) ([]Conn, []*NetServer) {
+	t.Helper()
+	addrs := make([]string, n)
+	servers := make([]*NetServer, n)
+	for i := 0; i < n; i++ {
+		ns, err := ListenAndServe(NewServer(i), "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("ListenAndServe(%d): %v", i, err)
+		}
+		t.Cleanup(func() { ns.Close() })
+		servers[i] = ns
+		addrs[i] = ns.Addr()
+	}
+	return TCPConns(addrs), servers
+}
+
+// TestTCPEndToEnd runs the protocol over real localhost TCP: a write,
+// a read, a server crash (listener closed), and a write/read pair
+// that ride through it on the n-f quorums.
+func TestTCPEndToEnd(t *testing.T) {
+	ctx := testCtx(t)
+	codec, err := NewCodec(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns, servers := startTCPCluster(t, 5)
+	w := mustWriter(t, "w1", codec, conns)
+	r := mustReader(t, "r1", codec, conns)
+
+	v1 := []byte("over the wire this time")
+	tag1, err := w.Write(ctx, v1)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	res, err := r.Read(ctx)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if res.Tag != tag1 || !bytes.Equal(res.Value, v1) {
+		t.Fatalf("Read = %v %q, want %v %q", res.Tag, res.Value, tag1, v1)
+	}
+
+	// Crash server 0: connections are refused from here on.
+	servers[0].Close()
+	v2 := []byte("written around the crashed server")
+	tag2, err := w.Write(ctx, v2)
+	if err != nil {
+		t.Fatalf("Write after crash: %v", err)
+	}
+	res, err = r.Read(ctx)
+	if err != nil {
+		t.Fatalf("Read after crash: %v", err)
+	}
+	if res.Tag != tag2 || !bytes.Equal(res.Value, v2) {
+		t.Fatalf("Read = %v %q, want %v %q", res.Tag, res.Value, tag2, v2)
+	}
+}
+
+// TestTCPRelayStream pins the streaming half of the TCP transport: a
+// standing get-data subscription receives the initial snapshot and
+// then one relayed delivery per put that lands on the server.
+func TestTCPRelayStream(t *testing.T) {
+	ctx := testCtx(t)
+	codec, err := NewCodec(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns, _ := startTCPCluster(t, 5)
+	w := mustWriter(t, "w1", codec, conns)
+	v1 := []byte("subscription smoke value")
+	tag1, err := w.Write(ctx, v1)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+
+	// Subscribe to server 2 directly.
+	subCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	got := make(chan Delivery, 16)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- conns[2].GetData(subCtx, "sub#1", func(d Delivery) { got <- d })
+	}()
+	first := <-got
+	if !first.Initial || first.Tag != tag1 || first.Server != 2 {
+		t.Fatalf("initial delivery = %+v", first)
+	}
+
+	v2 := []byte("relayed while subscribed")
+	tag2, err := w.Write(ctx, v2)
+	if err != nil {
+		t.Fatalf("Write 2: %v", err)
+	}
+	shards2, _ := codec.EncodeValue(v2)
+	select {
+	case d := <-got:
+		if d.Initial || d.Tag != tag2 || !bytes.Equal(d.Elem, shards2[2]) || d.VLen != len(v2) {
+			t.Fatalf("relayed delivery = %+v", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no relayed delivery arrived")
+	}
+
+	// Cancelling unsubscribes cleanly (nil error) and the server
+	// forgets the reader.
+	cancel()
+	if err := <-errCh; err != nil {
+		t.Fatalf("GetData returned %v after cancel", err)
+	}
+}

@@ -1,0 +1,247 @@
+package soda
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Length-prefixed binary framing. Every message is one frame:
+//
+//	uint32 big-endian payload length | payload
+//
+// and every payload starts with a one-byte message type. Integers are
+// big-endian; byte strings carry a uint32 length, the writer id in a
+// tag a uint16 length. The format is deliberately tiny — SODA's
+// message alphabet is six messages — and has no versioning beyond the
+// type byte; it is an internal cluster protocol, not a public API.
+
+// Message types.
+const (
+	msgGetTag     byte = 1 // c->s: get-tag phase
+	msgTagResp    byte = 2 // s->c: the server's tag
+	msgPutData    byte = 3 // c->s: put-data phase {tag, vlen, elem}
+	msgAck        byte = 4 // s->c: put-data acknowledged
+	msgGetData    byte = 5 // c->s: register reader {readerID}
+	msgData       byte = 6 // s->c: {tag, vlen, initial, elem}, repeated
+	msgReaderDone byte = 7 // c->s: unregister reader
+)
+
+// maxFrame bounds a frame payload; a peer announcing more is treated
+// as broken rather than allocated for.
+const maxFrame = 16 << 20
+
+var (
+	// ErrFrame is returned for malformed or oversized frames.
+	ErrFrame = errors.New("soda: malformed wire frame")
+)
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("%w: %d byte frame exceeds %d", ErrFrame, len(payload), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, reusing buf when it has the capacity.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("%w: frame length %d", ErrFrame, n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Append-style encoders.
+
+func appendTag(b []byte, t Tag) []byte {
+	// Writer ids are bounded at the constructors (maxWriterID) and by
+	// the uint16 length on ingest, so truncation here would indicate a
+	// forged tag: clamp it to the empty writer rather than emit a
+	// frame whose length field lies about the bytes that follow.
+	w := t.Writer
+	if len(w) > 0xFFFF {
+		w = ""
+	}
+	b = binary.BigEndian.AppendUint64(b, t.TS)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(w)))
+	return append(b, w...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+func encodeGetTag() []byte { return []byte{msgGetTag} }
+
+func encodeTagResp(t Tag) []byte { return appendTag([]byte{msgTagResp}, t) }
+
+func encodePutData(t Tag, elem []byte, vlen int) []byte {
+	b := appendTag([]byte{msgPutData}, t)
+	b = binary.BigEndian.AppendUint32(b, uint32(vlen))
+	return appendBytes(b, elem)
+}
+
+func encodeAck() []byte { return []byte{msgAck} }
+
+func encodeGetData(readerID string) []byte {
+	return appendBytes([]byte{msgGetData}, []byte(readerID))
+}
+
+func encodeData(d Delivery) []byte {
+	b := appendTag([]byte{msgData}, d.Tag)
+	b = binary.BigEndian.AppendUint32(b, uint32(d.VLen))
+	var initial byte
+	if d.Initial {
+		initial = 1
+	}
+	b = append(b, initial)
+	return appendBytes(b, d.Elem)
+}
+
+func encodeReaderDone() []byte { return []byte{msgReaderDone} }
+
+// cursor is a bounds-checked payload parser: every getter records an
+// overrun instead of panicking, and err() reports it once at the end.
+type cursor struct {
+	b      []byte
+	failed bool
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.failed || len(c.b) < n {
+		c.failed = true
+		return nil
+	}
+	out := c.b[:n]
+	c.b = c.b[n:]
+	return out
+}
+
+func (c *cursor) u8() byte {
+	p := c.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (c *cursor) u16() uint16 {
+	p := c.take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(p)
+}
+
+func (c *cursor) u32() uint32 {
+	p := c.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(p)
+}
+
+func (c *cursor) u64() uint64 {
+	p := c.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(p)
+}
+
+func (c *cursor) tag() Tag {
+	ts := c.u64()
+	return Tag{TS: ts, Writer: string(c.take(int(c.u16())))}
+}
+
+// bytes returns a copy of a length-prefixed byte string, so decoded
+// messages never alias a transport read buffer.
+func (c *cursor) bytes() []byte {
+	n := c.u32()
+	p := c.take(int(n))
+	if p == nil {
+		return nil
+	}
+	return append([]byte(nil), p...)
+}
+
+func (c *cursor) err() error {
+	if c.failed || len(c.b) != 0 {
+		return ErrFrame
+	}
+	return nil
+}
+
+// Decoders. Each checks the type byte itself so dispatch sites stay
+// honest about what they expect.
+
+func decodeTagResp(payload []byte) (Tag, error) {
+	c := &cursor{b: payload}
+	if c.u8() != msgTagResp {
+		return Tag{}, fmt.Errorf("%w: want tag-resp", ErrFrame)
+	}
+	t := c.tag()
+	return t, c.err()
+}
+
+func decodePutData(payload []byte) (Tag, []byte, int, error) {
+	c := &cursor{b: payload}
+	if c.u8() != msgPutData {
+		return Tag{}, nil, 0, fmt.Errorf("%w: want put-data", ErrFrame)
+	}
+	t := c.tag()
+	vlen := c.u32()
+	elem := c.bytes()
+	if vlen > math.MaxInt32 {
+		c.failed = true
+	}
+	return t, elem, int(vlen), c.err()
+}
+
+func decodeGetData(payload []byte) (string, error) {
+	c := &cursor{b: payload}
+	if c.u8() != msgGetData {
+		return "", fmt.Errorf("%w: want get-data", ErrFrame)
+	}
+	rid := string(c.bytes())
+	return rid, c.err()
+}
+
+func decodeData(payload []byte) (Delivery, error) {
+	c := &cursor{b: payload}
+	if c.u8() != msgData {
+		return Delivery{}, fmt.Errorf("%w: want data", ErrFrame)
+	}
+	var d Delivery
+	d.Tag = c.tag()
+	vlen := c.u32()
+	if vlen > math.MaxInt32 {
+		c.failed = true
+	}
+	d.VLen = int(vlen)
+	d.Initial = c.u8() == 1
+	d.Elem = c.bytes()
+	return d, c.err()
+}

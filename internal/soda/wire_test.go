@@ -1,0 +1,115 @@
+package soda
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestTagOrder(t *testing.T) {
+	a := Tag{}
+	b := Tag{TS: 1, Writer: "w1"}
+	c := Tag{TS: 1, Writer: "w2"}
+	d := Tag{TS: 2, Writer: "w1"}
+	order := []Tag{a, b, c, d}
+	for i := range order {
+		for j := range order {
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got := order[i].Compare(order[j]); got != want {
+				t.Fatalf("Compare(%v, %v) = %d, want %d", order[i], order[j], got, want)
+			}
+		}
+	}
+	if !a.IsZero() || b.IsZero() {
+		t.Fatal("IsZero misclassifies")
+	}
+	if next := c.Next("w9"); next.TS != 2 || next.Writer != "w9" || !c.Less(next) {
+		t.Fatalf("Next = %v", next)
+	}
+	// Next beats every tag sharing the observed timestamp, whatever
+	// the writer ids: that is what makes minted tags fresh.
+	if !c.Less(b.Next("w0")) {
+		t.Fatal("Next(w0) after (1,w1) must exceed (1,w2)")
+	}
+}
+
+// TestWireRoundTrip frames and parses every message type.
+func TestWireRoundTrip(t *testing.T) {
+	tag := Tag{TS: 77, Writer: "writer-α"}
+	elem := []byte{1, 2, 3, 4, 5}
+
+	roundtrip := func(payload []byte) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, payload); err != nil {
+			t.Fatalf("writeFrame: %v", err)
+		}
+		got, err := readFrame(&buf, nil)
+		if err != nil {
+			t.Fatalf("readFrame: %v", err)
+		}
+		return got
+	}
+
+	if got, err := decodeTagResp(roundtrip(encodeTagResp(tag))); err != nil || got != tag {
+		t.Fatalf("tag-resp round trip = %v, %v", got, err)
+	}
+	gt, ge, gv, err := decodePutData(roundtrip(encodePutData(tag, elem, 99)))
+	if err != nil || gt != tag || gv != 99 || !bytes.Equal(ge, elem) {
+		t.Fatalf("put-data round trip = %v %v %d, %v", gt, ge, gv, err)
+	}
+	if rid, err := decodeGetData(roundtrip(encodeGetData("r#7"))); err != nil || rid != "r#7" {
+		t.Fatalf("get-data round trip = %q, %v", rid, err)
+	}
+	d := Delivery{Tag: tag, Elem: elem, VLen: 99, Initial: true}
+	got, err := decodeData(roundtrip(encodeData(d)))
+	if err != nil || got.Tag != tag || !bytes.Equal(got.Elem, elem) || got.VLen != 99 || !got.Initial {
+		t.Fatalf("data round trip = %+v, %v", got, err)
+	}
+	// The zero-tag empty-server delivery also survives.
+	got, err = decodeData(roundtrip(encodeData(Delivery{Initial: true})))
+	if err != nil || !got.Tag.IsZero() || len(got.Elem) != 0 || !got.Initial {
+		t.Fatalf("empty data round trip = %+v, %v", got, err)
+	}
+}
+
+func TestWireMalformed(t *testing.T) {
+	// Truncated payloads must error, not panic or misparse.
+	full := encodePutData(Tag{TS: 5, Writer: "w"}, []byte{9, 9, 9}, 3)
+	for cut := 1; cut < len(full); cut++ {
+		if _, _, _, err := decodePutData(full[:cut]); err == nil {
+			t.Fatalf("decodePutData accepted a %d/%d byte prefix", cut, len(full))
+		}
+	}
+	// Trailing garbage is rejected too.
+	if _, err := decodeTagResp(append(encodeTagResp(Tag{TS: 1}), 0xFF)); err == nil {
+		t.Fatal("decodeTagResp accepted trailing bytes")
+	}
+	// Wrong message type.
+	if _, err := decodeTagResp(encodeAck()); err == nil {
+		t.Fatal("decodeTagResp accepted an ack")
+	}
+	// Oversized and zero-length frames are refused at the framing layer.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := readFrame(&buf, nil); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized frame error = %v", err)
+	}
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0})
+	if _, err := readFrame(&buf, nil); !errors.Is(err, ErrFrame) {
+		t.Fatalf("zero frame error = %v", err)
+	}
+	// A truncated stream surfaces as an IO error.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 9, 1, 2})
+	if _, err := readFrame(&buf, nil); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated frame error = %v", err)
+	}
+}
