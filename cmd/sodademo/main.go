@@ -9,6 +9,11 @@
 //     and the corrupt server quarantined.
 //  3. The same write/read round trip over real localhost TCP with the
 //     length-prefixed wire protocol.
+//  4. Kill-repair-rejoin: the crashed server restarts stale and the
+//     corrupt server gets a clean disk; anti-entropy repair rebuilds
+//     their elements from k live servers and readmits them, then a
+//     fresh kill is healed by the background repair loop while a
+//     membership-aware writer works around the hole.
 //
 // It exits nonzero if any scenario misbehaves, so it doubles as a
 // smoke test: go run ./cmd/sodademo
@@ -151,5 +156,81 @@ func run(ctx context.Context) error {
 		return fmt.Errorf("tcp read = %v %q, want %v %q", res3.Tag, res3.Value, tag3, v3)
 	}
 	fmt.Printf("  wrote and read %q at tag %v over the wire ✓\n", res3.Value, res3.Tag)
+
+	// ---- scenario 4: kill-repair-rejoin heals the loopback cluster
+	fmt.Println("\nscenario 4: kill-repair-rejoin — anti-entropy repair heals the cluster")
+	m := soda.NewMembership(n)
+	m.MarkSuspect(2, fmt.Errorf("crashed during scenario 1"))
+	m.MarkSuspect(4, fmt.Errorf("scenario 1 read located its element corrupt"))
+	lb.Restart(2)      // rejoins with stale storage: it missed tag2
+	lb.Corrupt(4, nil) // disk swap: server 4 stops serving rot
+	fmt.Printf("  server 2 restarts stale (missed tag %v); server 4 gets a clean disk\n", tag2)
+	rp, err := soda.NewRepairer(codec, lb.Conns(), m,
+		soda.WithRepairInterval(50*time.Millisecond),
+		soda.WithRepairBackoff(soda.Backoff{Base: 5 * time.Millisecond, Max: 100 * time.Millisecond}))
+	if err != nil {
+		return err
+	}
+	for _, s := range []int{2, 4} {
+		out, err := rp.RepairOnce(ctx, s)
+		if err != nil {
+			return fmt.Errorf("repair of server %d: %w", s, err)
+		}
+		fmt.Printf("  repair: server %d rebuilt from k=%d live elements -> %v, now %v\n", s, k, out, m.Health(s))
+	}
+	rz, err := soda.NewReader("r3", codec, lb.Conns(),
+		soda.WithReaderFaults(0), soda.WithReadErrors(1), soda.WithReaderMembership(m))
+	if err != nil {
+		return err
+	}
+	res4, err := rz.Read(ctx)
+	if err != nil {
+		return fmt.Errorf("read after repair: %w", err)
+	}
+	if !bytes.Equal(res4.Value, v2) || res4.Tag != tag2 || len(res4.Corrupt) != 0 {
+		return fmt.Errorf("read after repair = %v %q corrupt %v, want %v %q with none corrupt",
+			res4.Tag, res4.Value, res4.Corrupt, tag2, v2)
+	}
+	fmt.Printf("  r3: all %d servers answer, nothing corrupt, value %q ✓\n", n, res4.Value)
+
+	// A fresh kill, healed by the background repair loop this time,
+	// while a membership-aware writer works around the hole.
+	rpCtx, rpCancel := context.WithCancel(ctx)
+	rpDone := make(chan struct{})
+	go func() {
+		defer close(rpDone)
+		rp.Run(rpCtx)
+	}()
+	defer func() {
+		rpCancel()
+		<-rpDone
+	}()
+	lb.Crash(0)
+	m.MarkSuspect(0, fmt.Errorf("killed for scenario 4"))
+	fmt.Println("  fault: server 0 killed; repair loop running in the background")
+	wm, err := soda.NewWriter("w2", codec, lb.Conns(), soda.WithWriterMembership(m))
+	if err != nil {
+		return err
+	}
+	v5 := []byte("written around the quarantined server")
+	tag5, err := wm.Write(ctx, v5)
+	if err != nil {
+		return fmt.Errorf("write around the kill: %w", err)
+	}
+	fmt.Printf("  w2: excluded quarantined server 0, wrote tag %v on the live 4/5\n", tag5)
+	lb.Restart(0)
+	if err := m.AwaitLive(ctx, 0); err != nil {
+		return fmt.Errorf("server 0 never repaired: %w", err)
+	}
+	fmt.Println("  repair loop: server 0 rebuilt, readmitted ->", m.Health(0))
+	res5, err := rz.Read(ctx)
+	if err != nil {
+		return fmt.Errorf("read after rejoin: %w", err)
+	}
+	if !bytes.Equal(res5.Value, v5) || res5.Tag != tag5 || len(res5.Corrupt) != 0 {
+		return fmt.Errorf("read after rejoin = %v %q corrupt %v, want %v %q",
+			res5.Tag, res5.Value, res5.Corrupt, tag5, v5)
+	}
+	fmt.Printf("  r3: full-strength read after rejoin: %q at tag %v ✓\n", res5.Value, res5.Tag)
 	return nil
 }

@@ -34,6 +34,15 @@ type Conn interface {
 	// the subscription and returns nil after a cancellation-driven
 	// unregister; any other return means the server was lost.
 	GetData(ctx context.Context, readerID string, deliver func(Delivery)) error
+	// GetElem fetches the server's stored (tag, element, vlen) — the
+	// repair collection phase. A never-written server returns the zero
+	// tag with a nil element.
+	GetElem(ctx context.Context) (Tag, []byte, int, error)
+	// RepairPut installs a repaired element, accepted only if t is at
+	// least the server's current tag (repair never rolls a server
+	// backwards). It reports whether the server installed it; false
+	// means the server already holds something newer.
+	RepairPut(ctx context.Context, t Tag, elem []byte, vlen int) (bool, error)
 }
 
 // validateConns checks that conns cover each shard index of an
@@ -51,6 +60,35 @@ func validateConns(conns []Conn, n int) error {
 		seen[i] = true
 	}
 	return nil
+}
+
+// liveConns filters conns through a membership view, returning the
+// admitted conns and how many were quarantined. A nil view admits
+// everyone.
+func liveConns(conns []Conn, m *Membership) ([]Conn, int) {
+	if m == nil {
+		return conns, 0
+	}
+	live := make([]Conn, 0, len(conns))
+	for _, c := range conns {
+		if m.IsLive(c.Index()) {
+			live = append(live, c)
+		}
+	}
+	return live, len(conns) - len(live)
+}
+
+// reportSuspect feeds an affirmative per-server failure into a shared
+// membership view. Cancellation is not evidence — a straggler losing
+// the quorum race, or the caller's own deadline, says nothing about
+// the server — so only errors observed while the op's context was
+// still live count.
+func reportSuspect(m *Membership, opctx context.Context, server int, err error) {
+	if m == nil || err == nil || opctx.Err() != nil ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	m.MarkSuspect(server, err)
 }
 
 // quorum runs op against every conn and returns nil once need of them
@@ -100,6 +138,7 @@ type Writer struct {
 	codec *Codec
 	conns []Conn
 	f     int
+	m     *Membership
 	mu    sync.Mutex // serializes Write's get-tag -> put-data pair
 }
 
@@ -115,6 +154,22 @@ func WithWriterFaults(f int) WriterOption {
 			return fmt.Errorf("%w: writer faults f=%d with n=%d", ErrConfig, f, len(w.conns))
 		}
 		w.f = f
+		return nil
+	}
+}
+
+// WithWriterMembership shares a cluster Membership view with the
+// writer: quarantined servers are excluded from both phases' quorum
+// accounting — charged to the fault budget f rather than dialed — and
+// automatically re-included once the Repairer readmits them. The
+// writer also feeds the view: a server that affirmatively fails an RPC
+// is marked Suspect for the repair loop to pick up.
+func WithWriterMembership(m *Membership) WriterOption {
+	return func(w *Writer) error {
+		if m.N() != len(w.conns) {
+			return fmt.Errorf("%w: membership for n=%d, cluster has n=%d", ErrConfig, m.N(), len(w.conns))
+		}
+		w.m = m
 		return nil
 	}
 }
@@ -165,11 +220,16 @@ func (w *Writer) Write(ctx context.Context, value []byte) (Tag, error) {
 // crash between the phases; callers driving the phases by hand own
 // the serialization Write otherwise provides.
 func (w *Writer) NextTag(ctx context.Context) (Tag, error) {
+	live, _, err := w.quorumConns()
+	if err != nil {
+		return Tag{}, fmt.Errorf("soda: get-tag: %w", err)
+	}
 	var mu sync.Mutex
 	var max Tag
-	err := quorum(ctx, w.conns, len(w.conns)-w.f, func(qctx context.Context, c Conn) error {
+	err = quorum(ctx, live, len(w.conns)-w.f, func(qctx context.Context, c Conn) error {
 		t, err := c.GetTag(qctx)
 		if err != nil {
+			reportSuspect(w.m, qctx, c.Index(), err)
 			return err
 		}
 		mu.Lock()
@@ -187,6 +247,17 @@ func (w *Writer) NextTag(ctx context.Context) (Tag, error) {
 	return max.Next(w.id), nil
 }
 
+// quorumConns samples the membership view for one phase: the conns to
+// contact, the number quarantined, and an ErrUnavailable when so many
+// are quarantined that the n-f quorum cannot be met without them.
+func (w *Writer) quorumConns() ([]Conn, int, error) {
+	live, excluded := liveConns(w.conns, w.m)
+	if excluded > w.f {
+		return nil, excluded, fmt.Errorf("%w: %d servers quarantined, fault budget f=%d", ErrUnavailable, excluded, w.f)
+	}
+	return live, excluded, nil
+}
+
 // WriteTagged is the put-data phase: encode the value and send coded
 // element i to server i, completing on n-f acks.
 func (w *Writer) WriteTagged(ctx context.Context, tag Tag, value []byte) error {
@@ -194,8 +265,16 @@ func (w *Writer) WriteTagged(ctx context.Context, tag Tag, value []byte) error {
 	if err != nil {
 		return err
 	}
-	err = quorum(ctx, w.conns, len(w.conns)-w.f, func(qctx context.Context, c Conn) error {
-		return c.PutData(qctx, tag, shards[c.Index()], len(value))
+	live, _, err := w.quorumConns()
+	if err != nil {
+		return fmt.Errorf("soda: put-data %v: %w", tag, err)
+	}
+	err = quorum(ctx, live, len(w.conns)-w.f, func(qctx context.Context, c Conn) error {
+		if err := c.PutData(qctx, tag, shards[c.Index()], len(value)); err != nil {
+			reportSuspect(w.m, qctx, c.Index(), err)
+			return err
+		}
+		return nil
 	})
 	if err != nil {
 		return fmt.Errorf("soda: put-data %v: %w", tag, err)
@@ -222,6 +301,7 @@ type Reader struct {
 	f          int
 	e          int
 	quarantine []int
+	m          *Membership
 }
 
 // ReaderOption configures a Reader.
@@ -281,6 +361,23 @@ func WithQuarantine(servers ...int) ReaderOption {
 	}
 }
 
+// WithReaderMembership shares a cluster Membership view with the
+// reader: each Read samples the view at invocation and excludes every
+// quarantined server exactly like WithQuarantine (the two compose; the
+// static list stays excluded regardless of the view). The reader also
+// feeds the view — corrupt servers a SODA_err decode locates and
+// servers whose delivery stream affirmatively dies are marked Suspect
+// — closing the loop that keeps the Repairer supplied with work.
+func WithReaderMembership(m *Membership) ReaderOption {
+	return func(r *Reader) error {
+		if m.N() != len(r.conns) {
+			return fmt.Errorf("%w: membership for n=%d, cluster has n=%d", ErrConfig, m.N(), len(r.conns))
+		}
+		r.m = m
+		return nil
+	}
+}
+
 // NewReader builds a reader with the given id prefix.
 func NewReader(id string, codec *Codec, conns []Conn, opts ...ReaderOption) (*Reader, error) {
 	if id == "" {
@@ -335,11 +432,23 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 		lost:     make(map[int]bool, len(r.conns)),
 		done:     make(chan struct{}),
 	}
-	for _, q := range r.quarantine {
+	// The effective quarantine is the static list plus the membership
+	// view's current suspects; a server the Repairer readmitted before
+	// this Read started is contacted again.
+	quarantine := r.quarantine
+	if r.m != nil {
+		quarantine = slices.Clone(quarantine)
+		for _, s := range r.m.Suspects() {
+			if !slices.Contains(quarantine, s) {
+				quarantine = append(quarantine, s)
+			}
+		}
+	}
+	for _, q := range quarantine {
 		st.lose(q, errors.New("quarantined"))
 	}
 	for _, c := range r.conns {
-		if slices.Contains(r.quarantine, c.Index()) {
+		if slices.Contains(quarantine, c.Index()) {
 			continue
 		}
 		go func(c Conn) {
@@ -351,6 +460,7 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 				if err == nil {
 					err = errors.New("server closed the data stream")
 				}
+				reportSuspect(r.m, rctx, c.Index(), err)
 				st.lose(c.Index(), err)
 			}
 		}(c)
@@ -362,6 +472,9 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 		defer st.mu.Unlock()
 		if st.err != nil {
 			return ReadResult{}, st.err
+		}
+		if r.m != nil {
+			r.m.ReportRead(st.result)
 		}
 		return st.result, nil
 	case <-ctx.Done():

@@ -89,6 +89,23 @@ func (l *Loopback) Hang(i int) {
 	l.servers[i].UnregisterAll()
 }
 
+// Restart rejoins a crashed or hung server i: future operations reach
+// its state machine again, with storage exactly as the crash left it
+// (possibly stale — repair's job) and no registered readers. A
+// corruption transform installed with Corrupt survives the restart,
+// modeling a bad disk that a reboot does not fix; clear it with
+// Corrupt(i, nil) to model a disk swap. Combine with Server(i).Wipe()
+// for a restart that lost the disk entirely.
+func (l *Loopback) Restart(i int) {
+	l.mu.Lock()
+	if l.crashed[i] {
+		l.crashed[i] = false
+		l.down[i] = make(chan struct{})
+	}
+	l.hung[i] = false
+	l.mu.Unlock()
+}
+
 // Corrupt installs a storage-rot transform for server i: every
 // element it serves from now on is passed through fn (on a copy — the
 // underlying storage stays intact, modeling a bad disk sector or a
@@ -126,6 +143,14 @@ func (l *Loopback) state(i int) (crashed, hung bool) {
 	return l.crashed[i], l.hung[i]
 }
 
+// downCh samples server i's crash channel; Restart replaces it, so it
+// must be read under the lock.
+func (l *Loopback) downCh(i int) chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.down[i]
+}
+
 // transform applies server i's corruption, if any, to a copy of the
 // delivery's element.
 func (l *Loopback) transform(i int, d Delivery) Delivery {
@@ -153,7 +178,11 @@ type loopConn struct {
 func (c *loopConn) Index() int { return c.idx }
 
 // gate applies the fault flags: error when crashed, block forever
-// when hung.
+// when hung. A cancelled context is deliberately NOT checked: a
+// quorum's straggler goroutines model messages already in flight, and
+// in-flight messages still land. Tests that need a put to *miss* a
+// server must crash it before the put begins, not rely on client-side
+// cancellation to unsend it.
 func (c *loopConn) gate(ctx context.Context) error {
 	crashed, hung := c.lb.state(c.idx)
 	if crashed {
@@ -193,13 +222,39 @@ func (c *loopConn) GetData(ctx context.Context, readerID string, deliver func(De
 		}
 	}
 	srv := c.lb.servers[c.idx]
+	down := c.lb.downCh(c.idx)
 	initial := srv.Register(readerID, wrap)
 	defer srv.Unregister(readerID)
 	wrap(initial)
 	select {
 	case <-ctx.Done():
 		return nil
-	case <-c.lb.down[c.idx]:
+	case <-down:
 		return ErrServerDown
 	}
+}
+
+// GetElem serves the repair collection phase. The corruption transform
+// applies here too: a rotting server lies to the Repairer exactly as
+// it lies to readers, which is why repair cross-checks donors when the
+// codec has error-location structure.
+func (c *loopConn) GetElem(ctx context.Context) (Tag, []byte, int, error) {
+	if err := c.gate(ctx); err != nil {
+		return Tag{}, nil, 0, err
+	}
+	t, elem, vlen := c.lb.servers[c.idx].Snapshot()
+	d := c.lb.transform(c.idx, Delivery{Server: c.idx, Tag: t, Elem: elem, VLen: vlen})
+	if len(d.Elem) > 0 && &d.Elem[0] == &elem[0] {
+		// No transform ran: copy out of the server's live buffer so a
+		// concurrent put cannot mutate the caller's view.
+		d.Elem = slices.Clone(d.Elem)
+	}
+	return d.Tag, d.Elem, d.VLen, nil
+}
+
+func (c *loopConn) RepairPut(ctx context.Context, t Tag, elem []byte, vlen int) (bool, error) {
+	if err := c.gate(ctx); err != nil {
+		return false, err
+	}
+	return c.lb.servers[c.idx].RepairPut(t, elem, vlen), nil
 }

@@ -1,0 +1,82 @@
+package soda
+
+import (
+	"context"
+	"time"
+)
+
+// Backoff is a small bounded exponential backoff shared by the
+// transports and the repair loop: delays double from Base up to Max.
+// It is deliberately jitter-free so fault-injection tests stay
+// deterministic; the processes sharing a cluster are few enough that
+// synchronized retries are not a thundering herd.
+type Backoff struct {
+	Base time.Duration // first delay; default 10ms
+	Max  time.Duration // delay cap; default 2s
+
+	attempt int
+}
+
+const (
+	defaultBackoffBase = 10 * time.Millisecond
+	defaultBackoffMax  = 2 * time.Second
+)
+
+// Next returns the next delay and advances the schedule.
+func (b *Backoff) Next() time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = defaultBackoffBase
+	}
+	if max <= 0 {
+		max = defaultBackoffMax
+	}
+	d := base
+	for i := 0; i < b.attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	b.attempt++
+	return d
+}
+
+// Reset rewinds the schedule to Base, for callers that reuse one
+// Backoff across successes (the repair loop's per-server state).
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Sleep blocks for the next delay or until ctx ends, returning
+// ctx.Err() in the latter case. A hung peer must never stall a caller
+// past its context: every retry loop in this package sleeps through
+// here.
+func (b *Backoff) Sleep(ctx context.Context) error {
+	t := time.NewTimer(b.Next())
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retry runs fn up to attempts times, backing off between failures,
+// and returns the first success or the last error. It stops early when
+// ctx ends. fn's error is returned unwrapped so callers keep errors.Is
+// visibility into the cause.
+func retry(ctx context.Context, attempts int, b Backoff, fn func() error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil || i == attempts-1 {
+			return err
+		}
+		if serr := b.Sleep(ctx); serr != nil {
+			return err
+		}
+	}
+	return err
+}

@@ -80,6 +80,49 @@ func (s *Server) PutData(t Tag, elem []byte, vlen int) {
 	}
 }
 
+// RepairPut answers the Repairer's install: accept (t, elem, vlen) iff
+// t >= the current tag, reporting whether it was installed. The >= (vs
+// PutData's strict >) is the point of the message: repair may lay down
+// a fresh copy of the element the server already claims to hold,
+// overwriting rotten storage, but it can never roll the server's tag
+// backwards — that invariant is what keeps a previously returned tag's
+// holder count from shrinking, which the reader's f < k atomicity
+// argument depends on. An accepted repair relays to registered readers
+// exactly like a put-data, so a reader that registered while the
+// server was catching up still sees the element it is waiting for. The
+// server takes ownership of elem.
+func (s *Server) RepairPut(t Tag, elem []byte, vlen int) bool {
+	s.mu.Lock()
+	if t.Less(s.tag) {
+		s.mu.Unlock()
+		return false
+	}
+	s.tag, s.elem, s.vlen = t, elem, vlen
+	var sinks []func(Delivery)
+	for _, r := range s.readers {
+		if !t.Less(r.treq) {
+			sinks = append(sinks, r.sink)
+		}
+	}
+	s.mu.Unlock()
+	d := Delivery{Server: s.idx, Tag: t, Elem: elem, VLen: vlen}
+	for _, sink := range sinks {
+		sink(d)
+	}
+	return true
+}
+
+// Wipe clears the stored element, modeling a server that restarts
+// after losing its disk: it rejoins with the initial (zero-tag, empty)
+// state and relies on repair to regenerate its coded element.
+// Registrations are untouched — fail-stop transports already dropped
+// them at crash time.
+func (s *Server) Wipe() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tag, s.elem, s.vlen = Tag{}, nil, 0
+}
+
 // Register answers a reader's get-data: record (reader, current tag)
 // in the registration set and return the current state as the initial
 // delivery. The caller (transport) delivers the returned snapshot and

@@ -109,21 +109,53 @@ func (ns *NetServer) handle(conn net.Conn) {
 		buf = payload
 		switch payload[0] {
 		case msgGetTag:
-			if registered || writeFrame(conn, encodeTagResp(ns.core.GetTag())) != nil {
+			if registered {
+				return // the pump owns the write side; just close
+			}
+			if writeFrame(conn, encodeTagResp(ns.core.GetTag())) != nil {
 				return
 			}
 		case msgPutData:
+			if registered {
+				return
+			}
 			t, elem, vlen, err := decodePutData(payload)
-			if registered || err != nil {
+			if err != nil {
+				ns.fail(conn, "malformed put-data: "+err.Error())
 				return
 			}
 			ns.core.PutData(t, elem, vlen)
 			if writeFrame(conn, encodeAck()) != nil {
 				return
 			}
+		case msgGetElem:
+			if registered {
+				return
+			}
+			t, elem, vlen := ns.core.Snapshot()
+			if writeFrame(conn, encodeElemResp(t, elem, vlen)) != nil {
+				return
+			}
+		case msgRepairPut:
+			if registered {
+				return
+			}
+			t, elem, vlen, err := decodeRepairPut(payload)
+			if err != nil {
+				ns.fail(conn, "malformed repair-put: "+err.Error())
+				return
+			}
+			accepted := ns.core.RepairPut(t, elem, vlen)
+			if writeFrame(conn, encodeRepairResp(accepted)) != nil {
+				return
+			}
 		case msgGetData:
+			if registered {
+				return
+			}
 			r, err := decodeGetData(payload)
-			if registered || err != nil {
+			if err != nil {
+				ns.fail(conn, "malformed get-data: "+err.Error())
 				return
 			}
 			rid, registered = r, true
@@ -138,9 +170,25 @@ func (ns *NetServer) handle(conn net.Conn) {
 		case msgReaderDone:
 			return // deferred unregister + close
 		default:
+			// A type byte from a future protocol version (or garbage):
+			// tell the peer explicitly instead of a silent close, so a
+			// version-skewed client degrades into a legible
+			// *RemoteError rather than a mystery EOF.
+			if registered {
+				return // the pump owns the write side; just close
+			}
+			ns.fail(conn, fmt.Sprintf("unknown message type %#x", payload[0]))
 			return
 		}
 	}
+}
+
+// fail sends a best-effort explicit error frame before the handler
+// drops the connection. The write gets a short deadline of its own: a
+// peer that stopped reading must not pin the handler.
+func (ns *NetServer) fail(conn net.Conn, msg string) {
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	writeFrame(conn, encodeError(msg))
 }
 
 // pump drains a registered reader's delivery queue onto its
@@ -203,29 +251,84 @@ func (s *relaySink) close() {
 
 // tcpConn is the client-side Conn for one server address.
 type tcpConn struct {
-	idx  int
-	addr string
+	idx          int
+	addr         string
+	dialTimeout  time.Duration
+	dialAttempts int
+	backoff      Backoff
+}
+
+// Dial policy defaults: a dial that has not completed in dialTimeout
+// is as dead as a refused one — without the cap, a blackholed server
+// would pin a quorum goroutine until the caller's whole context
+// expired — and refused dials are retried a few times with backoff so
+// a server mid-restart is not instantly written off.
+const (
+	defaultDialTimeout  = 2 * time.Second
+	defaultDialAttempts = 3
+)
+
+// TCPOption configures a client-side TCP conn.
+type TCPOption func(*tcpConn)
+
+// WithDialTimeout caps each dial attempt; the effective deadline is
+// the earlier of this and the operation context's.
+func WithDialTimeout(d time.Duration) TCPOption {
+	return func(c *tcpConn) { c.dialTimeout = d }
+}
+
+// WithDialRetry sets how many times an operation attempts the dial
+// (minimum 1) and the backoff schedule between attempts.
+func WithDialRetry(attempts int, b Backoff) TCPOption {
+	return func(c *tcpConn) {
+		if attempts < 1 {
+			attempts = 1
+		}
+		c.dialAttempts = attempts
+		c.backoff = b
+	}
 }
 
 // TCPConn returns a Conn that dials addr for each operation, acting
 // for the server at shard index idx.
-func TCPConn(idx int, addr string) Conn { return &tcpConn{idx: idx, addr: addr} }
+func TCPConn(idx int, addr string, opts ...TCPOption) Conn {
+	c := &tcpConn{
+		idx:          idx,
+		addr:         addr,
+		dialTimeout:  defaultDialTimeout,
+		dialAttempts: defaultDialAttempts,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
 
 // TCPConns builds the conn set for a cluster from its address list,
 // in shard-index order.
-func TCPConns(addrs []string) []Conn {
+func TCPConns(addrs []string, opts ...TCPOption) []Conn {
 	conns := make([]Conn, len(addrs))
 	for i, a := range addrs {
-		conns[i] = TCPConn(i, a)
+		conns[i] = TCPConn(i, a, opts...)
 	}
 	return conns
 }
 
 func (c *tcpConn) Index() int { return c.idx }
 
+// dial connects with the per-attempt deadline and bounded retry. The
+// context always wins: cancellation aborts both an in-flight dial
+// (DialContext honors it) and any backoff sleep, so a hung dial can
+// never stall a quorum past its caller's cancellation.
 func (c *tcpConn) dial(ctx context.Context) (net.Conn, error) {
-	var d net.Dialer
-	return d.DialContext(ctx, "tcp", c.addr)
+	d := net.Dialer{Timeout: c.dialTimeout}
+	var conn net.Conn
+	err := retry(ctx, c.dialAttempts, c.backoff, func() error {
+		var err error
+		conn, err = d.DialContext(ctx, "tcp", c.addr)
+		return err
+	})
+	return conn, err
 }
 
 // unary performs one request/response exchange.
@@ -263,10 +366,23 @@ func (c *tcpConn) PutData(ctx context.Context, t Tag, elem []byte, vlen int) err
 	if err != nil {
 		return err
 	}
-	if len(payload) != 1 || payload[0] != msgAck {
-		return fmt.Errorf("%w: put-data response", ErrFrame)
+	return decodeAck(payload)
+}
+
+func (c *tcpConn) GetElem(ctx context.Context) (Tag, []byte, int, error) {
+	payload, err := c.unary(ctx, encodeGetElem())
+	if err != nil {
+		return Tag{}, nil, 0, err
 	}
-	return nil
+	return decodeElemResp(payload)
+}
+
+func (c *tcpConn) RepairPut(ctx context.Context, t Tag, elem []byte, vlen int) (bool, error) {
+	payload, err := c.unary(ctx, encodeRepairPut(t, elem, vlen))
+	if err != nil {
+		return false, err
+	}
+	return decodeRepairResp(payload)
 }
 
 func (c *tcpConn) GetData(ctx context.Context, readerID string, deliver func(Delivery)) error {

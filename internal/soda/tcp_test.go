@@ -3,6 +3,8 @@ package soda
 import (
 	"bytes"
 	"context"
+	"errors"
+	"net"
 	"testing"
 	"time"
 )
@@ -117,5 +119,126 @@ func TestTCPRelayStream(t *testing.T) {
 	cancel()
 	if err := <-errCh; err != nil {
 		t.Fatalf("GetData returned %v after cancel", err)
+	}
+}
+
+// TestTCPRepairRPCs exercises the repair wire messages end to end over
+// real TCP: element collection returns what the server holds, and the
+// repair install enforces the tag floor remotely exactly as it does
+// in-process.
+func TestTCPRepairRPCs(t *testing.T) {
+	ctx := testCtx(t)
+	conns, servers := startTCPCluster(t, 1)
+	c := conns[0]
+
+	// Empty register: zero tag, no element.
+	tag, elem, vlen, err := c.GetElem(ctx)
+	if err != nil || !tag.IsZero() || len(elem) != 0 || vlen != 0 {
+		t.Fatalf("GetElem on empty server = %v %v %d, %v", tag, elem, vlen, err)
+	}
+
+	t5 := Tag{TS: 5, Writer: "w"}
+	if err := c.PutData(ctx, t5, []byte{1, 2, 3}, 9); err != nil {
+		t.Fatalf("PutData: %v", err)
+	}
+	tag, elem, vlen, err = c.GetElem(ctx)
+	if err != nil || tag != t5 || vlen != 9 || !bytes.Equal(elem, []byte{1, 2, 3}) {
+		t.Fatalf("GetElem = %v %v %d, %v", tag, elem, vlen, err)
+	}
+
+	// Install below the current tag: rejected, state unchanged.
+	if ok, err := c.RepairPut(ctx, Tag{TS: 4, Writer: "w"}, []byte{7}, 1); err != nil || ok {
+		t.Fatalf("RepairPut below current = %v, %v", ok, err)
+	}
+	if got, _, _ := servers[0].core.Snapshot(); got != t5 {
+		t.Fatalf("rejected remote repair mutated the server: %v", got)
+	}
+	// At or above: installed.
+	t6 := Tag{TS: 6, Writer: "w"}
+	if ok, err := c.RepairPut(ctx, t6, []byte{9, 9}, 2); err != nil || !ok {
+		t.Fatalf("RepairPut above current = %v, %v", ok, err)
+	}
+	tag, elem, _, err = c.GetElem(ctx)
+	if err != nil || tag != t6 || !bytes.Equal(elem, []byte{9, 9}) {
+		t.Fatalf("GetElem after repair = %v %v, %v", tag, elem, err)
+	}
+}
+
+// TestTCPUnknownTypeByte sends garbage type bytes at a server and
+// expects an explicit error frame back — a *RemoteError naming the
+// offending byte — rather than a silent close.
+func TestTCPUnknownTypeByte(t *testing.T) {
+	ctx := testCtx(t)
+	conns, _ := startTCPCluster(t, 1)
+	c := conns[0].(*tcpConn)
+
+	payload, err := c.unary(ctx, []byte{0xFF})
+	if err != nil {
+		t.Fatalf("unary: %v", err)
+	}
+	var re *RemoteError
+	if err := decodeAck(payload); !errors.As(err, &re) {
+		t.Fatalf("garbage type byte produced %v, want *RemoteError", err)
+	}
+	if re.Msg != "unknown message type 0xff" {
+		t.Fatalf("RemoteError.Msg = %q", re.Msg)
+	}
+
+	// A malformed known-type message gets the same treatment.
+	payload, err = c.unary(ctx, []byte{msgPutData, 0xDE, 0xAD})
+	if err != nil {
+		t.Fatalf("unary: %v", err)
+	}
+	if err := decodeAck(payload); !errors.As(err, &re) {
+		t.Fatalf("truncated put-data produced %v, want *RemoteError", err)
+	}
+}
+
+// TestTCPDialRetryTimeout pins the client dial policy: refused dials
+// are retried on the backoff schedule and then surface the dial error,
+// and the operation context cuts both the dial and the backoff sleep
+// short.
+func TestTCPDialRetryTimeout(t *testing.T) {
+	// A dead address: grab an ephemeral port, then close it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	ctx := testCtx(t)
+	c := TCPConn(0, dead, WithDialRetry(3, Backoff{Base: time.Millisecond, Max: 4 * time.Millisecond}))
+	start := time.Now()
+	if _, err := c.GetTag(ctx); err == nil {
+		t.Fatal("GetTag against a dead address succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("retries against a refused address took %v", elapsed)
+	}
+
+	// Cancellation aborts the inter-attempt backoff immediately.
+	slow := TCPConn(0, dead, WithDialRetry(100, Backoff{Base: time.Hour})).(*tcpConn)
+	cctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	if _, err := slow.GetTag(cctx); err == nil {
+		t.Fatal("GetTag under a cancelled context succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v to cut the backoff short", elapsed)
+	}
+
+	// And a write still completes when one address in the cluster is
+	// dead: the fault budget absorbs the failed dials.
+	codec, err := NewCodec(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns, _ := startTCPCluster(t, 5)
+	conns[0] = TCPConn(0, dead, WithDialRetry(1, Backoff{Base: time.Millisecond}))
+	w := mustWriter(t, "w1", codec, conns)
+	if _, err := w.Write(testCtx(t), []byte("around the dead address")); err != nil {
+		t.Fatalf("Write with one dead address: %v", err)
 	}
 }

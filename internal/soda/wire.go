@@ -20,13 +20,18 @@ import (
 
 // Message types.
 const (
-	msgGetTag     byte = 1 // c->s: get-tag phase
-	msgTagResp    byte = 2 // s->c: the server's tag
-	msgPutData    byte = 3 // c->s: put-data phase {tag, vlen, elem}
-	msgAck        byte = 4 // s->c: put-data acknowledged
-	msgGetData    byte = 5 // c->s: register reader {readerID}
-	msgData       byte = 6 // s->c: {tag, vlen, initial, elem}, repeated
-	msgReaderDone byte = 7 // c->s: unregister reader
+	msgGetTag     byte = 1  // c->s: get-tag phase
+	msgTagResp    byte = 2  // s->c: the server's tag
+	msgPutData    byte = 3  // c->s: put-data phase {tag, vlen, elem}
+	msgAck        byte = 4  // s->c: put-data acknowledged
+	msgGetData    byte = 5  // c->s: register reader {readerID}
+	msgData       byte = 6  // s->c: {tag, vlen, initial, elem}, repeated
+	msgReaderDone byte = 7  // c->s: unregister reader
+	msgGetElem    byte = 8  // c->s: repair collection — fetch (tag, elem)
+	msgElemResp   byte = 9  // s->c: {tag, vlen, elem}
+	msgRepairPut  byte = 10 // c->s: install a repaired element {tag, vlen, elem}
+	msgRepairResp byte = 11 // s->c: {accepted}: tag >= current, installed
+	msgError      byte = 12 // s->c: {message}: explicit protocol error
 )
 
 // maxFrame bounds a frame payload; a peer announcing more is treated
@@ -37,6 +42,32 @@ var (
 	// ErrFrame is returned for malformed or oversized frames.
 	ErrFrame = errors.New("soda: malformed wire frame")
 )
+
+// FrameError is the typed form of a decode failure: which message was
+// being decoded and what went wrong (truncated payload, trailing
+// bytes, wrong type byte). It matches errors.Is(err, ErrFrame), so
+// existing callers keep working while version-skew diagnostics become
+// legible.
+type FrameError struct {
+	Want string // message the decoder expected
+	Got  byte   // type byte actually seen (0 when the payload was empty)
+	Msg  string // what went wrong
+}
+
+func (e *FrameError) Error() string {
+	return fmt.Sprintf("soda: malformed wire frame: decoding %s: %s", e.Want, e.Msg)
+}
+
+func (e *FrameError) Is(target error) bool { return target == ErrFrame }
+
+// RemoteError is a peer's explicit msgError frame: the server telling
+// a (possibly version-skewed) client what it objected to, instead of
+// silently dropping the connection.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "soda: server error: " + e.Msg }
 
 // writeFrame writes one length-prefixed frame.
 func writeFrame(w io.Writer, payload []byte) error {
@@ -122,6 +153,39 @@ func encodeData(d Delivery) []byte {
 
 func encodeReaderDone() []byte { return []byte{msgReaderDone} }
 
+func encodeGetElem() []byte { return []byte{msgGetElem} }
+
+func encodeElemResp(t Tag, elem []byte, vlen int) []byte {
+	b := appendTag([]byte{msgElemResp}, t)
+	b = binary.BigEndian.AppendUint32(b, uint32(vlen))
+	return appendBytes(b, elem)
+}
+
+func encodeRepairPut(t Tag, elem []byte, vlen int) []byte {
+	b := appendTag([]byte{msgRepairPut}, t)
+	b = binary.BigEndian.AppendUint32(b, uint32(vlen))
+	return appendBytes(b, elem)
+}
+
+func encodeRepairResp(accepted bool) []byte {
+	var a byte
+	if accepted {
+		a = 1
+	}
+	return []byte{msgRepairResp, a}
+}
+
+// maxErrorMsg caps the error-frame text a peer can make us relay or
+// store.
+const maxErrorMsg = 512
+
+func encodeError(msg string) []byte {
+	if len(msg) > maxErrorMsg {
+		msg = msg[:maxErrorMsg]
+	}
+	return appendBytes([]byte{msgError}, []byte(msg))
+}
+
 // cursor is a bounds-checked payload parser: every getter records an
 // overrun instead of panicking, and err() reports it once at the end.
 type cursor struct {
@@ -187,52 +251,95 @@ func (c *cursor) bytes() []byte {
 	return append([]byte(nil), p...)
 }
 
-func (c *cursor) err() error {
-	if c.failed || len(c.b) != 0 {
-		return ErrFrame
+// err reports a typed decode failure for the named message: truncated
+// payload (an overrun getter) or trailing bytes both mean the peer and
+// we disagree about the message's shape.
+func (c *cursor) err(want string) error {
+	if c.failed {
+		return &FrameError{Want: want, Msg: "truncated payload"}
+	}
+	if len(c.b) != 0 {
+		return &FrameError{Want: want, Msg: fmt.Sprintf("%d trailing bytes", len(c.b))}
 	}
 	return nil
 }
 
 // Decoders. Each checks the type byte itself so dispatch sites stay
-// honest about what they expect.
+// honest about what they expect, and each surfaces a peer's explicit
+// msgError frame as a *RemoteError — a version-skewed peer degrades
+// into a legible error instead of a desynced stream.
+
+// typeCheck begins decoding: it consumes the type byte, intercepting
+// error frames and reporting unexpected types as typed errors.
+func typeCheck(c *cursor, want byte, name string) error {
+	if len(c.b) == 0 {
+		return &FrameError{Want: name, Msg: "empty payload"}
+	}
+	got := c.u8()
+	if got == want {
+		return nil
+	}
+	if got == msgError {
+		return decodeErrorTail(c)
+	}
+	return &FrameError{Want: name, Got: got, Msg: fmt.Sprintf("unexpected message type %#x", got)}
+}
+
+// decodeErrorTail parses the remainder of an msgError payload (the
+// type byte already consumed).
+func decodeErrorTail(c *cursor) error {
+	msg := string(c.bytes())
+	if err := c.err("error"); err != nil {
+		return err
+	}
+	if len(msg) > maxErrorMsg {
+		msg = msg[:maxErrorMsg]
+	}
+	return &RemoteError{Msg: msg}
+}
 
 func decodeTagResp(payload []byte) (Tag, error) {
 	c := &cursor{b: payload}
-	if c.u8() != msgTagResp {
-		return Tag{}, fmt.Errorf("%w: want tag-resp", ErrFrame)
+	if err := typeCheck(c, msgTagResp, "tag-resp"); err != nil {
+		return Tag{}, err
 	}
 	t := c.tag()
-	return t, c.err()
+	return t, c.err("tag-resp")
 }
 
-func decodePutData(payload []byte) (Tag, []byte, int, error) {
-	c := &cursor{b: payload}
-	if c.u8() != msgPutData {
-		return Tag{}, nil, 0, fmt.Errorf("%w: want put-data", ErrFrame)
-	}
+// decodeTaggedElem parses the shared {tag, vlen, elem} tail of
+// put-data, elem-resp, and repair-put.
+func decodeTaggedElem(c *cursor, name string) (Tag, []byte, int, error) {
 	t := c.tag()
 	vlen := c.u32()
 	elem := c.bytes()
 	if vlen > math.MaxInt32 {
 		c.failed = true
 	}
-	return t, elem, int(vlen), c.err()
+	return t, elem, int(vlen), c.err(name)
+}
+
+func decodePutData(payload []byte) (Tag, []byte, int, error) {
+	c := &cursor{b: payload}
+	if err := typeCheck(c, msgPutData, "put-data"); err != nil {
+		return Tag{}, nil, 0, err
+	}
+	return decodeTaggedElem(c, "put-data")
 }
 
 func decodeGetData(payload []byte) (string, error) {
 	c := &cursor{b: payload}
-	if c.u8() != msgGetData {
-		return "", fmt.Errorf("%w: want get-data", ErrFrame)
+	if err := typeCheck(c, msgGetData, "get-data"); err != nil {
+		return "", err
 	}
 	rid := string(c.bytes())
-	return rid, c.err()
+	return rid, c.err("get-data")
 }
 
 func decodeData(payload []byte) (Delivery, error) {
 	c := &cursor{b: payload}
-	if c.u8() != msgData {
-		return Delivery{}, fmt.Errorf("%w: want data", ErrFrame)
+	if err := typeCheck(c, msgData, "data"); err != nil {
+		return Delivery{}, err
 	}
 	var d Delivery
 	d.Tag = c.tag()
@@ -243,5 +350,38 @@ func decodeData(payload []byte) (Delivery, error) {
 	d.VLen = int(vlen)
 	d.Initial = c.u8() == 1
 	d.Elem = c.bytes()
-	return d, c.err()
+	return d, c.err("data")
+}
+
+func decodeElemResp(payload []byte) (Tag, []byte, int, error) {
+	c := &cursor{b: payload}
+	if err := typeCheck(c, msgElemResp, "elem-resp"); err != nil {
+		return Tag{}, nil, 0, err
+	}
+	return decodeTaggedElem(c, "elem-resp")
+}
+
+func decodeRepairPut(payload []byte) (Tag, []byte, int, error) {
+	c := &cursor{b: payload}
+	if err := typeCheck(c, msgRepairPut, "repair-put"); err != nil {
+		return Tag{}, nil, 0, err
+	}
+	return decodeTaggedElem(c, "repair-put")
+}
+
+func decodeAck(payload []byte) error {
+	c := &cursor{b: payload}
+	if err := typeCheck(c, msgAck, "ack"); err != nil {
+		return err
+	}
+	return c.err("ack")
+}
+
+func decodeRepairResp(payload []byte) (bool, error) {
+	c := &cursor{b: payload}
+	if err := typeCheck(c, msgRepairResp, "repair-resp"); err != nil {
+		return false, err
+	}
+	accepted := c.u8() == 1
+	return accepted, c.err("repair-resp")
 }

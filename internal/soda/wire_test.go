@@ -79,6 +79,84 @@ func TestWireRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWireRepairRoundTrip frames and parses the repair-subsystem
+// messages.
+func TestWireRepairRoundTrip(t *testing.T) {
+	tag := Tag{TS: 41, Writer: "repairer"}
+	elem := []byte{8, 6, 7, 5, 3, 0, 9}
+
+	gt, ge, gv, err := decodeElemResp(encodeElemResp(tag, elem, 21))
+	if err != nil || gt != tag || gv != 21 || !bytes.Equal(ge, elem) {
+		t.Fatalf("elem-resp round trip = %v %v %d, %v", gt, ge, gv, err)
+	}
+	// The zero-tag empty-register response survives too.
+	gt, ge, gv, err = decodeElemResp(encodeElemResp(Tag{}, nil, 0))
+	if err != nil || !gt.IsZero() || len(ge) != 0 || gv != 0 {
+		t.Fatalf("empty elem-resp round trip = %v %v %d, %v", gt, ge, gv, err)
+	}
+	gt, ge, gv, err = decodeRepairPut(encodeRepairPut(tag, elem, 21))
+	if err != nil || gt != tag || gv != 21 || !bytes.Equal(ge, elem) {
+		t.Fatalf("repair-put round trip = %v %v %d, %v", gt, ge, gv, err)
+	}
+	for _, accepted := range []bool{true, false} {
+		if got, err := decodeRepairResp(encodeRepairResp(accepted)); err != nil || got != accepted {
+			t.Fatalf("repair-resp(%v) round trip = %v, %v", accepted, got, err)
+		}
+	}
+}
+
+// TestWireTypedErrors pins the decode-failure taxonomy: truncation and
+// trailing bytes yield *FrameError (still matching ErrFrame), and an
+// explicit msgError frame surfaces as *RemoteError from any decoder.
+func TestWireTypedErrors(t *testing.T) {
+	// Truncated payload: typed, named, and ErrFrame-compatible.
+	full := encodeElemResp(Tag{TS: 3, Writer: "w"}, []byte{1, 2}, 2)
+	_, _, _, err := decodeElemResp(full[:len(full)-1])
+	var fe *FrameError
+	if !errors.As(err, &fe) || !errors.Is(err, ErrFrame) {
+		t.Fatalf("truncated elem-resp error = %v (%T)", err, err)
+	}
+	if fe.Want != "elem-resp" || fe.Msg != "truncated payload" {
+		t.Fatalf("FrameError = %+v", fe)
+	}
+
+	// Trailing bytes.
+	_, _, _, err = decodeElemResp(append(append([]byte(nil), full...), 0xAB))
+	if !errors.As(err, &fe) || fe.Msg != "1 trailing bytes" {
+		t.Fatalf("trailing-bytes error = %v", err)
+	}
+
+	// Wrong type byte names both sides of the disagreement.
+	err = decodeAck(encodeRepairResp(true))
+	if !errors.As(err, &fe) || fe.Want != "ack" || fe.Got != msgRepairResp {
+		t.Fatalf("wrong-type error = %v (%+v)", err, fe)
+	}
+
+	// An explicit error frame beats a type mismatch in every decoder.
+	frame := encodeError("unknown message type 0xff")
+	var re *RemoteError
+	if err := decodeAck(frame); !errors.As(err, &re) || re.Msg != "unknown message type 0xff" {
+		t.Fatalf("error frame via decodeAck = %v", err)
+	}
+	if _, err := decodeTagResp(frame); !errors.As(err, &re) {
+		t.Fatalf("error frame via decodeTagResp = %v", err)
+	}
+	if _, _, _, err := decodeElemResp(frame); !errors.As(err, &re) {
+		t.Fatalf("error frame via decodeElemResp = %v", err)
+	}
+
+	// Error-frame text is capped in both directions.
+	huge := string(bytes.Repeat([]byte{'x'}, 4*maxErrorMsg))
+	if err := decodeAck(encodeError(huge)); !errors.As(err, &re) || len(re.Msg) != maxErrorMsg {
+		t.Fatalf("oversized error frame = %v", err)
+	}
+
+	// Empty payloads are typed failures, not panics.
+	if err := decodeAck(nil); !errors.As(err, &fe) || fe.Msg != "empty payload" {
+		t.Fatalf("empty payload error = %v", err)
+	}
+}
+
 func TestWireMalformed(t *testing.T) {
 	// Truncated payloads must error, not panic or misparse.
 	full := encodePutData(Tag{TS: 5, Writer: "w"}, []byte{9, 9, 9}, 3)
