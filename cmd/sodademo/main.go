@@ -43,6 +43,7 @@ func main() {
 
 func run(ctx context.Context) error {
 	const n, k = 5, 3
+	const key = "demo/register" // every scenario works one key of the namespace
 	fmt.Printf("SODA demo — n=%d servers, [n,k]=[%d,%d] rs-view code, storage cost n/k = %.2f× the value\n\n", n, n, k, float64(n)/float64(k))
 
 	codec, err := soda.NewCodec(n, k, rs.WithGenerator(rs.GeneratorRSView))
@@ -58,7 +59,7 @@ func run(ctx context.Context) error {
 		return err
 	}
 	v1 := []byte("SODA: one coded element per server, relayed to readers")
-	tag1, err := w.Write(ctx, v1)
+	tag1, err := w.Write(ctx, key, v1)
 	if err != nil {
 		return fmt.Errorf("write: %w", err)
 	}
@@ -68,7 +69,7 @@ func run(ctx context.Context) error {
 	fmt.Println("  fault: server 4 storage rots (serves bit-flipped elements)")
 	// Crash server 2 the instant its initial response reaches the
 	// reader: the crash is concurrent with the read.
-	lb.OnDeliver(func(server int, _ string, d soda.Delivery) {
+	lb.OnDeliver(func(server int, _, _ string, d soda.Delivery) {
 		if server == 2 && d.Initial {
 			lb.Crash(2)
 			fmt.Println("  fault: server 2 crashes mid-read, just after answering get-data")
@@ -79,7 +80,7 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	res, err := r.Read(ctx)
+	res, err := r.Read(ctx, key)
 	if err != nil {
 		return fmt.Errorf("SODA_err read: %w", err)
 	}
@@ -92,7 +93,7 @@ func run(ctx context.Context) error {
 	}
 	fmt.Printf("  r1: %d responses, Verify mismatch -> DecodeErrors -> value %q\n", n, res.Value)
 	fmt.Printf("  r1: corrupt server(s) located for quarantine: %v\n", res.Corrupt)
-	if _, err := lb.Conns()[2].GetTag(ctx); err == nil {
+	if _, err := lb.Conns()[2].GetTag(ctx, key); err == nil {
 		return fmt.Errorf("server 2 still answers after its crash")
 	}
 	fmt.Println("  check: server 2 is down, read completed anyway ✓")
@@ -100,7 +101,7 @@ func run(ctx context.Context) error {
 	// ---- scenario 2: keep operating around the failures
 	fmt.Println("\nscenario 2: write/read with server 2 down and server 4 quarantined")
 	v2 := []byte("life goes on at quorum n-f")
-	tag2, err := w.Write(ctx, v2) // 4 of 5 acks: n-f quorum
+	tag2, err := w.Write(ctx, key, v2) // 4 of 5 acks: n-f quorum
 	if err != nil {
 		return fmt.Errorf("write around the crash: %w", err)
 	}
@@ -110,7 +111,7 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	res2, err := rq.Read(ctx)
+	res2, err := rq.Read(ctx, key)
 	if err != nil {
 		return fmt.Errorf("quarantined read: %w", err)
 	}
@@ -119,11 +120,13 @@ func run(ctx context.Context) error {
 	}
 	fmt.Printf("  r2: avoided server %v, read %q at tag %v ✓\n", res.Corrupt, res2.Value, res2.Tag)
 
-	// ---- scenario 3: the same protocol over real TCP
-	fmt.Println("\nscenario 3: write/read over localhost TCP")
+	// ---- scenario 3: the same protocol over real TCP, multiplexed
+	fmt.Println("\nscenario 3: write/read over localhost TCP (one mux connection per server)")
 	addrs := make([]string, n)
+	tsrvs := make([]*soda.Server, n)
 	for i := 0; i < n; i++ {
-		ns, err := soda.ListenAndServe(soda.NewServer(i), "127.0.0.1:0")
+		tsrvs[i] = soda.NewServer(i)
+		ns, err := soda.ListenAndServe(tsrvs[i], "127.0.0.1:0")
 		if err != nil {
 			return err
 		}
@@ -135,20 +138,27 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	tw, err := soda.NewWriter("w1", tcodec, soda.TCPConns(addrs))
+	tconns := soda.TCPMuxConns(addrs)
+	defer soda.CloseConns(tconns)
+	tw, err := soda.NewWriter("w1", tcodec, tconns)
 	if err != nil {
 		return err
 	}
-	tr, err := soda.NewReader("r1", tcodec, soda.TCPConns(addrs))
+	tr, err := soda.NewReader("r1", tcodec, tconns)
 	if err != nil {
 		return err
 	}
-	v3 := []byte("framed, dialed, relayed")
-	tag3, err := tw.Write(ctx, v3)
+	v3 := []byte("framed, pipelined, relayed")
+	tag3, err := tw.Write(ctx, key, v3)
 	if err != nil {
 		return fmt.Errorf("tcp write: %w", err)
 	}
-	res3, err := tr.Read(ctx)
+	// A second key rides the same five connections: the namespace is
+	// multiplexed, not dialed per key.
+	if _, err := tw.Write(ctx, key+"/sibling", []byte("second key, same conns")); err != nil {
+		return fmt.Errorf("tcp write sibling key: %w", err)
+	}
+	res3, err := tr.Read(ctx, key)
 	if err != nil {
 		return fmt.Errorf("tcp read: %w", err)
 	}
@@ -156,6 +166,12 @@ func run(ctx context.Context) error {
 		return fmt.Errorf("tcp read = %v %q, want %v %q", res3.Tag, res3.Value, tag3, v3)
 	}
 	fmt.Printf("  wrote and read %q at tag %v over the wire ✓\n", res3.Value, res3.Tag)
+	var tms soda.MetricsSnapshot
+	for _, s := range tsrvs {
+		tms.Add(s.MetricsSnapshot())
+	}
+	fmt.Printf("  tcp cluster metrics: %d get-tags, %d put-datas, %d get-datas, %d relays, %d registers live\n",
+		tms.GetTags, tms.PutDatas, tms.GetDatas, tms.Relays, tms.Registers)
 
 	// ---- scenario 4: kill-repair-rejoin heals the loopback cluster
 	fmt.Println("\nscenario 4: kill-repair-rejoin — anti-entropy repair heals the cluster")
@@ -183,7 +199,7 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	res4, err := rz.Read(ctx)
+	res4, err := rz.Read(ctx, key)
 	if err != nil {
 		return fmt.Errorf("read after repair: %w", err)
 	}
@@ -213,7 +229,7 @@ func run(ctx context.Context) error {
 		return err
 	}
 	v5 := []byte("written around the quarantined server")
-	tag5, err := wm.Write(ctx, v5)
+	tag5, err := wm.Write(ctx, key, v5)
 	if err != nil {
 		return fmt.Errorf("write around the kill: %w", err)
 	}
@@ -223,7 +239,7 @@ func run(ctx context.Context) error {
 		return fmt.Errorf("server 0 never repaired: %w", err)
 	}
 	fmt.Println("  repair loop: server 0 rebuilt, readmitted ->", m.Health(0))
-	res5, err := rz.Read(ctx)
+	res5, err := rz.Read(ctx, key)
 	if err != nil {
 		return fmt.Errorf("read after rejoin: %w", err)
 	}
@@ -232,5 +248,12 @@ func run(ctx context.Context) error {
 			res5.Tag, res5.Value, res5.Corrupt, tag5, v5)
 	}
 	fmt.Printf("  r3: full-strength read after rejoin: %q at tag %v ✓\n", res5.Value, res5.Tag)
+
+	var ms soda.MetricsSnapshot
+	for i := 0; i < n; i++ {
+		ms.Add(lb.Server(i).MetricsSnapshot())
+	}
+	fmt.Printf("\nloopback cluster metrics: %d get-tags, %d put-datas, %d get-datas, %d get-elems, %d repair-puts (%d installed), %d relays, %d registration GCs, %d registers live\n",
+		ms.GetTags, ms.PutDatas, ms.GetDatas, ms.GetElems, ms.RepairPuts, ms.RepairInstalls, ms.Relays, ms.RegGCs, ms.Registers)
 	return nil
 }

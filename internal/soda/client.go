@@ -8,7 +8,7 @@ import (
 	"fmt"
 	"os"
 	"slices"
-	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -19,30 +19,37 @@ var (
 	ErrUnavailable = errors.New("soda: too many server failures")
 )
 
-// Conn is a client's handle to one server, implemented by the TCP
-// transport (tcp.go) and the in-process loopback (loopback.go).
+// Conn is a client's handle to one server, implemented by the
+// multiplexed TCP transport (mux.go), the dial-per-op TCP transport
+// (tcp.go), and the in-process loopback (loopback.go). Every operation
+// addresses one named register by key. Transports copy elements at the
+// boundary in both directions: a put's elem is not retained after the
+// call returns, and a served element never aliases server storage.
 type Conn interface {
 	// Index returns the server's shard index in [0, n).
 	Index() int
-	// GetTag asks for the server's highest stored tag.
-	GetTag(ctx context.Context) (Tag, error)
-	// PutData stores one coded element under a tag.
-	PutData(ctx context.Context, t Tag, elem []byte, vlen int) error
-	// GetData registers readerID with the server, delivers the
-	// server's current state marked Initial, then every relayed
-	// put-data until ctx is cancelled. It blocks for the lifetime of
-	// the subscription and returns nil after a cancellation-driven
+	// GetTag asks for the server's highest stored tag under key.
+	GetTag(ctx context.Context, key string) (Tag, error)
+	// PutData stores one coded element under (key, tag).
+	PutData(ctx context.Context, key string, t Tag, elem []byte, vlen int) error
+	// GetData registers readerID with the server on key, delivers the
+	// key's current state marked Initial, then every relayed put-data
+	// until ctx is cancelled. It blocks for the lifetime of the
+	// subscription and returns nil after a cancellation-driven
 	// unregister; any other return means the server was lost.
-	GetData(ctx context.Context, readerID string, deliver func(Delivery)) error
-	// GetElem fetches the server's stored (tag, element, vlen) — the
-	// repair collection phase. A never-written server returns the zero
-	// tag with a nil element.
-	GetElem(ctx context.Context) (Tag, []byte, int, error)
-	// RepairPut installs a repaired element, accepted only if t is at
-	// least the server's current tag (repair never rolls a server
+	GetData(ctx context.Context, key, readerID string, deliver func(Delivery)) error
+	// GetElem fetches the server's stored (tag, element, vlen) under
+	// key — the repair collection phase. A never-written key returns
+	// the zero tag with a nil element.
+	GetElem(ctx context.Context, key string) (Tag, []byte, int, error)
+	// RepairPut installs a repaired element under key, accepted only if
+	// t is at least the key's current tag (repair never rolls a server
 	// backwards). It reports whether the server installed it; false
 	// means the server already holds something newer.
-	RepairPut(ctx context.Context, t Tag, elem []byte, vlen int) (bool, error)
+	RepairPut(ctx context.Context, key string, t Tag, elem []byte, vlen int) (bool, error)
+	// Keys enumerates the keys the server holds written elements for —
+	// the namespace a Repairer must heal.
+	Keys(ctx context.Context) ([]string, error)
 }
 
 // validateConns checks that conns cover each shard index of an
@@ -127,19 +134,55 @@ func quorum(ctx context.Context, conns []Conn, need int, op func(context.Context
 	return fmt.Errorf("%w: quorum accounting exhausted", ErrUnavailable) // unreachable
 }
 
-// Writer performs SODA's two-phase writes. One Writer owns a writer
-// id — the id must be unique across the cluster's writers, since tags
-// are (ts, id) — and Write serializes itself, so a Writer is safe for
-// concurrent use: two overlapping Writes from one id would otherwise
+// writeStripes stripes the writer's per-key serialization locks; must
+// be a power of two.
+const writeStripes = 64
+
+// stripeOf hashes a key onto a lock stripe (FNV-1a).
+func stripeOf(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h & (writeStripes - 1)
+}
+
+// encodeScratch is a reusable encode buffer for the put-data phase:
+// one n*s backing array resliced into shards. It is refcounted across
+// the quorum fan-out — straggler goroutines still hold the shards
+// after the quorum completes, so the buffer returns to the pool only
+// when the last per-server op finishes.
+type encodeScratch struct {
+	buf    []byte
+	shards [][]byte
+	refs   atomic.Int32
+}
+
+// release drops one quorum goroutine's hold; the last one pools the
+// scratch.
+func (sc *encodeScratch) release(pool *sync.Pool) {
+	if sc.refs.Add(-1) == 0 {
+		pool.Put(sc)
+	}
+}
+
+// Writer performs SODA's two-phase writes against named registers. One
+// Writer owns a writer id — the id must be unique across the cluster's
+// writers, since tags are (ts, id) — and Write serializes itself per
+// key (striped locks), so a Writer is safe for concurrent use across
+// keys: two overlapping Writes of one key from one id would otherwise
 // observe the same quorum maximum, mint the same tag for different
 // values, and split the servers between two codewords of one version.
 type Writer struct {
-	id    string
-	codec *Codec
-	conns []Conn
-	f     int
-	m     *Membership
-	mu    sync.Mutex // serializes Write's get-tag -> put-data pair
+	id      string
+	codec   *Codec
+	conns   []Conn
+	f       int
+	m       *Membership
+	locks   [writeStripes]sync.Mutex // serialize Write's get-tag -> put-data pair per key
+	scratch sync.Pool                // *encodeScratch
+	calls   sync.Pool                // *writeCall
 }
 
 // WriterOption configures a Writer.
@@ -202,24 +245,247 @@ func NewWriter(id string, codec *Codec, conns []Conn, opts ...WriterOption) (*Wr
 	return w, nil
 }
 
-// Write performs one atomic write: get-tag, then put-data. It returns
-// the tag the value was written under.
-func (w *Writer) Write(ctx context.Context, value []byte) (Tag, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	tag, err := w.NextTag(ctx)
-	if err != nil {
-		return Tag{}, err
-	}
-	return tag, w.WriteTagged(ctx, tag, value)
+// writeCall is the pooled fan-out state of one fused Write: a single
+// goroutine per server runs both phases back to back, so a write costs
+// n goroutine spawns instead of the 2n a quorum() per phase would, and
+// the channels and spawn thunk are reused across writes. Legs report
+// by bumping counters under wc.mu and nudging the cap-1 wake channel
+// only when a counter crosses its phase threshold, so the caller parks
+// about once per phase instead of consuming 2n messages. The refcount
+// covers the n server goroutines plus the caller; the last one off
+// drains the channels and pools the struct, so straggler sends can
+// never pollute a later write.
+type writeCall struct {
+	wake chan struct{} // condition nudge; cap 1, coalescing
+	mint chan Tag      // minted-tag handoff; cap n, one token per server
+	body func()        // reusable spawn thunk: go wc.body() allocates nothing
+	refs atomic.Int32
+	next atomic.Int32
+
+	mu       sync.Mutex
+	tagMax   Tag   // running max of phase-0 tags
+	oks      int   // phase-0 successes
+	errs     int   // phase-0 failures
+	acks     int   // phase-1 successes
+	aerrs    int   // phase-1 failures
+	firstErr error // first phase-0 failure
+	ackErr   error // first phase-1 failure
+	need     int   // successes that complete a phase
+	allowed  int   // failures a phase absorbs
+
+	// Per-call fields, set before the spawns and zeroed at pool time.
+	w     *Writer
+	ctx   context.Context
+	key   string
+	conns []Conn
+	sc    *encodeScratch
+	vlen  int
 }
 
-// NextTag is the get-tag phase on its own: query all servers, wait
-// for n-f tags, and mint the successor of their maximum. Exposed
+func (w *Writer) getCall(ctx context.Context, key string, conns []Conn, sc *encodeScratch, vlen int) *writeCall {
+	wc, _ := w.calls.Get().(*writeCall)
+	if wc == nil || cap(wc.mint) < len(w.conns) {
+		wc = &writeCall{
+			wake: make(chan struct{}, 1),
+			mint: make(chan Tag, len(w.conns)),
+		}
+		wc.body = wc.run
+	}
+	wc.next.Store(0)
+	wc.tagMax = Tag{}
+	wc.oks, wc.errs, wc.acks, wc.aerrs = 0, 0, 0, 0
+	wc.firstErr, wc.ackErr = nil, nil
+	wc.need = len(w.conns) - w.f
+	wc.allowed = len(conns) - wc.need
+	wc.w, wc.ctx, wc.key, wc.conns, wc.sc, wc.vlen = w, ctx, key, conns, sc, vlen
+	wc.refs.Store(int32(len(conns)) + 1) // servers + caller
+	return wc
+}
+
+// release drops one hold on the call; the last holder drains and pools
+// it.
+func (wc *writeCall) release() {
+	if wc.refs.Add(-1) != 0 {
+		return
+	}
+	for {
+		select {
+		case <-wc.wake:
+		case <-wc.mint:
+		default:
+			w := wc.w
+			wc.w, wc.ctx, wc.key, wc.conns, wc.sc = nil, nil, "", nil, nil
+			w.calls.Put(wc)
+			return
+		}
+	}
+}
+
+// signal nudges the caller; the cap-1 buffer coalesces concurrent
+// nudges, and the caller re-reads the counters after every wake, so a
+// dropped token can never lose an edge that happened before the send.
+func (wc *writeCall) signal() {
+	select {
+	case wc.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is one server's leg of a fused write: report the server's tag,
+// wait for the writer to mint, then deliver the coded element. A
+// server whose get-tag failed still attempts put-data — with
+// dial-per-op transports the second dial can succeed where the first
+// did not, and the unfused path retried it the same way. Each phase's
+// thresholds (need successes, allowed+1 failures) sum past the leg
+// count, so at most one of them fires per phase and a completed phase
+// always nudges the caller exactly once.
+func (wc *writeCall) run() {
+	defer wc.release()
+	c := wc.conns[wc.next.Add(1)-1]
+	t, err := c.GetTag(wc.ctx, wc.key)
+	if err != nil {
+		reportSuspect(wc.w.m, wc.ctx, c.Index(), err)
+	}
+	wc.mu.Lock()
+	nudge := false
+	if err != nil {
+		if wc.firstErr == nil {
+			wc.firstErr = err
+		}
+		wc.errs++
+		nudge = wc.errs == wc.allowed+1
+	} else {
+		if wc.tagMax.Less(t) {
+			wc.tagMax = t
+		}
+		wc.oks++
+		nudge = wc.oks == wc.need
+	}
+	wc.mu.Unlock()
+	if nudge {
+		wc.signal()
+	}
+	var minted Tag
+	select {
+	case minted = <-wc.mint:
+	case <-wc.ctx.Done():
+		wc.sc.release(&wc.w.scratch)
+		return
+	}
+	err = c.PutData(wc.ctx, wc.key, minted, wc.sc.shards[c.Index()], wc.vlen)
+	wc.sc.release(&wc.w.scratch)
+	if err != nil {
+		reportSuspect(wc.w.m, wc.ctx, c.Index(), err)
+	}
+	wc.mu.Lock()
+	nudge = false
+	if err != nil {
+		if wc.ackErr == nil {
+			wc.ackErr = err
+		}
+		wc.aerrs++
+		nudge = wc.aerrs == wc.allowed+1
+	} else {
+		wc.acks++
+		nudge = wc.acks == wc.need
+	}
+	wc.mu.Unlock()
+	if nudge {
+		wc.signal()
+	}
+}
+
+// Write performs one atomic write of key: get-tag, then put-data,
+// returning the tag the value was written under. The two phases are
+// fused per server — one goroutine per conn runs get-tag and then,
+// once n-f tags have fixed the minted tag, put-data on the same leg —
+// which is observationally the same message sequence as
+// NextTag+WriteTagged but costs half the fan-out. Per-server phases
+// may overlap (one server can be receiving its element while a
+// straggler is still answering get-tag); the protocol never needed
+// the phases globally barriered, only the mint to follow n-f tags.
+func (w *Writer) Write(ctx context.Context, key string, value []byte) (Tag, error) {
+	if err := validateKey(key); err != nil {
+		return Tag{}, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	l := &w.locks[stripeOf(key)]
+	l.Lock()
+	defer l.Unlock()
+
+	live, _, err := w.quorumConns()
+	if err != nil {
+		return Tag{}, fmt.Errorf("soda: get-tag: %w", err)
+	}
+	sc, _ := w.scratch.Get().(*encodeScratch)
+	if sc == nil {
+		sc = &encodeScratch{}
+	}
+	if err := w.codec.encodeValueInto(value, sc); err != nil {
+		w.scratch.Put(sc)
+		return Tag{}, err
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sc.refs.Store(int32(len(live)))
+	wc := w.getCall(wctx, key, live, sc, len(value))
+	defer wc.release()
+	for range live {
+		spawnPool.spawn(wc.body)
+	}
+
+	// Phase 0: park until the tag quorum resolves. Every wake re-reads
+	// the counters, so coalesced or stale nudges only cost a loop turn.
+	var minted Tag
+	for minted.IsZero() {
+		select {
+		case <-wc.wake:
+		case <-ctx.Done():
+			return Tag{}, ctx.Err()
+		}
+		wc.mu.Lock()
+		switch {
+		case wc.oks >= wc.need:
+			minted = wc.tagMax.Next(w.id)
+		case wc.errs > wc.allowed:
+			errs, firstErr := wc.errs, wc.firstErr
+			wc.mu.Unlock()
+			return Tag{}, fmt.Errorf("soda: get-tag: %w: %d of %d servers failed (need %d): %v",
+				ErrUnavailable, errs, len(live), wc.need, firstErr)
+		}
+		wc.mu.Unlock()
+	}
+	for range live {
+		wc.mint <- minted
+	}
+
+	// Phase 1: park until the ack quorum resolves.
+	for {
+		select {
+		case <-wc.wake:
+		case <-ctx.Done():
+			return Tag{}, ctx.Err()
+		}
+		wc.mu.Lock()
+		switch {
+		case wc.acks >= wc.need:
+			wc.mu.Unlock()
+			return minted, nil
+		case wc.aerrs > wc.allowed:
+			aerrs, ackErr := wc.aerrs, wc.ackErr
+			wc.mu.Unlock()
+			return Tag{}, fmt.Errorf("soda: put-data %v: %w: %d of %d servers failed (need %d): %v",
+				minted, ErrUnavailable, aerrs, len(live), wc.need, ackErr)
+		}
+		wc.mu.Unlock()
+	}
+}
+
+// NextTag is the get-tag phase on its own: query all servers for key,
+// wait for n-f tags, and mint the successor of their maximum. Exposed
 // separately (with WriteTagged) so tests can fault-inject a writer
 // crash between the phases; callers driving the phases by hand own
-// the serialization Write otherwise provides.
-func (w *Writer) NextTag(ctx context.Context) (Tag, error) {
+// the per-key serialization Write otherwise provides.
+func (w *Writer) NextTag(ctx context.Context, key string) (Tag, error) {
 	live, _, err := w.quorumConns()
 	if err != nil {
 		return Tag{}, fmt.Errorf("soda: get-tag: %w", err)
@@ -227,7 +493,7 @@ func (w *Writer) NextTag(ctx context.Context) (Tag, error) {
 	var mu sync.Mutex
 	var max Tag
 	err = quorum(ctx, live, len(w.conns)-w.f, func(qctx context.Context, c Conn) error {
-		t, err := c.GetTag(qctx)
+		t, err := c.GetTag(qctx, key)
 		if err != nil {
 			reportSuspect(w.m, qctx, c.Index(), err)
 			return err
@@ -258,19 +524,30 @@ func (w *Writer) quorumConns() ([]Conn, int, error) {
 	return live, excluded, nil
 }
 
-// WriteTagged is the put-data phase: encode the value and send coded
-// element i to server i, completing on n-f acks.
-func (w *Writer) WriteTagged(ctx context.Context, tag Tag, value []byte) error {
-	shards, err := w.codec.EncodeValue(value)
-	if err != nil {
+// WriteTagged is the put-data phase: encode the value into a pooled
+// scratch and send coded element i to server i, completing on n-f
+// acks. Transports copy the element before returning, so the scratch
+// is reusable as soon as every per-server op has finished — which is
+// exactly when its refcount pools it.
+func (w *Writer) WriteTagged(ctx context.Context, key string, tag Tag, value []byte) error {
+	sc, _ := w.scratch.Get().(*encodeScratch)
+	if sc == nil {
+		sc = &encodeScratch{}
+	}
+	if err := w.codec.encodeValueInto(value, sc); err != nil {
+		w.scratch.Put(sc)
 		return err
 	}
 	live, _, err := w.quorumConns()
 	if err != nil {
+		w.scratch.Put(sc)
 		return fmt.Errorf("soda: put-data %v: %w", tag, err)
 	}
+	vlen := len(value)
+	sc.refs.Store(int32(len(live)))
 	err = quorum(ctx, live, len(w.conns)-w.f, func(qctx context.Context, c Conn) error {
-		if err := c.PutData(qctx, tag, shards[c.Index()], len(value)); err != nil {
+		defer sc.release(&w.scratch)
+		if err := c.PutData(qctx, key, tag, sc.shards[c.Index()], vlen); err != nil {
 			reportSuspect(w.m, qctx, c.Index(), err)
 			return err
 		}
@@ -296,12 +573,14 @@ type ReadResult struct {
 // Read registers under a fresh reader id.
 type Reader struct {
 	id         string
+	ridPrefix  string // id + process token, precomputed off the Read path
 	codec      *Codec
 	conns      []Conn
 	f          int
 	e          int
 	quarantine []int
 	m          *Membership
+	states     sync.Pool // *readState
 }
 
 // ReaderOption configures a Reader.
@@ -390,7 +669,7 @@ func NewReader(id string, codec *Codec, conns []Conn, opts ...ReaderOption) (*Re
 	if f > codec.K()-1 {
 		f = codec.K() - 1 // see WithReaderFaults: atomicity needs f < k
 	}
-	r := &Reader{id: id, codec: codec, conns: conns, f: f}
+	r := &Reader{id: id, ridPrefix: id + "-" + procToken + "#", codec: codec, conns: conns, f: f}
 	for _, opt := range opts {
 		if err := opt(r); err != nil {
 			return nil, err
@@ -410,28 +689,30 @@ var (
 	procToken = func() string {
 		var b [4]byte
 		if _, err := cryptorand.Read(b[:]); err != nil {
-			return fmt.Sprintf("p%d", os.Getpid())
+			return "p" + strconv.Itoa(os.Getpid())
 		}
 		return hex.EncodeToString(b[:])
 	}()
 	readSeq atomic.Uint64
 )
 
-// Read performs one atomic read. It blocks until enough servers have
-// responded (or relayed a concurrent write) to pin down a value, or
-// until ctx is cancelled.
-func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
-	rid := fmt.Sprintf("%s-%s#%d", r.id, procToken, readSeq.Add(1))
+var (
+	errQuarantined  = errors.New("quarantined")
+	errStreamClosed = errors.New("server closed the data stream")
+)
+
+// Read performs one atomic read of key. It blocks until enough servers
+// have responded (or relayed a concurrent write) to pin down a value,
+// or until ctx is cancelled.
+func (r *Reader) Read(ctx context.Context, key string) (ReadResult, error) {
+	if err := validateKey(key); err != nil {
+		return ReadResult{}, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	b := make([]byte, 0, len(r.ridPrefix)+20)
+	rid := string(strconv.AppendUint(append(b, r.ridPrefix...), readSeq.Add(1), 10))
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	st := &readState{
-		r:        r,
-		initials: make(map[int]Tag, len(r.conns)),
-		tags:     make(map[version]*tagState),
-		lost:     make(map[int]bool, len(r.conns)),
-		done:     make(chan struct{}),
-	}
 	// The effective quarantine is the static list plus the membership
 	// view's current suspects; a server the Repairer readmitted before
 	// this Read started is contacted again.
@@ -444,42 +725,130 @@ func (r *Reader) Read(ctx context.Context) (ReadResult, error) {
 			}
 		}
 	}
-	for _, q := range quarantine {
-		st.lose(q, errors.New("quarantined"))
-	}
-	for _, c := range r.conns {
-		if slices.Contains(quarantine, c.Index()) {
-			continue
+
+	st := r.getState()
+	st.mu.Lock()
+	st.rctx, st.key, st.rid = rctx, key, rid
+	gen := st.gen
+	// The sink is the one piece of this read the servers hold onto: a
+	// relay snapshotting the sink set just before Unregister can still
+	// invoke it after the read completed and the state was recycled, so
+	// it is pinned to this read's generation and goes inert the moment
+	// the state is pooled.
+	st.sink = func(d Delivery) {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if st.gen != gen {
+			return
 		}
-		go func(c Conn) {
-			err := c.GetData(rctx, rid, st.add)
-			if rctx.Err() == nil {
-				// The subscription died while the read still wanted
-				// it: a crashed or closing server. Anything it already
-				// delivered stays usable.
-				if err == nil {
-					err = errors.New("server closed the data stream")
-				}
-				reportSuspect(r.m, rctx, c.Index(), err)
-				st.lose(c.Index(), err)
-			}
-		}(c)
+		st.addLocked(d)
+	}
+	contact := st.contact[:0]
+	for _, c := range r.conns {
+		if !slices.Contains(quarantine, c.Index()) {
+			contact = append(contact, c)
+		}
+	}
+	st.contact = contact
+	st.next.Store(0)
+	st.refs.Store(int32(len(contact)) + 1) // subscriptions + this caller
+	st.mu.Unlock()
+	defer st.release()
+
+	for _, q := range quarantine {
+		st.lose(q, errQuarantined)
+	}
+	for range contact {
+		spawnPool.spawn(st.body)
 	}
 
 	select {
 	case <-st.done:
 		st.mu.Lock()
-		defer st.mu.Unlock()
-		if st.err != nil {
-			return ReadResult{}, st.err
+		res, rerr := st.result, st.err
+		st.mu.Unlock()
+		if rerr != nil {
+			return ReadResult{}, rerr
 		}
 		if r.m != nil {
-			r.m.ReportRead(st.result)
+			r.m.ReportRead(res)
 		}
-		return st.result, nil
+		return res, nil
 	case <-ctx.Done():
 		return ReadResult{}, ctx.Err()
 	}
+}
+
+// runConn is one server's subscription leg of a read, spawned once per
+// contacted conn through the pooled spawn thunk.
+func (st *readState) runConn() {
+	defer st.release()
+	c := st.contact[st.next.Add(1)-1]
+	err := c.GetData(st.rctx, st.key, st.rid, st.sink)
+	if st.rctx.Err() == nil {
+		// The subscription died while the read still wanted it: a
+		// crashed or closing server. Anything it already delivered
+		// stays usable.
+		if err == nil {
+			err = errStreamClosed
+		}
+		reportSuspect(st.r.m, st.rctx, c.Index(), err)
+		st.lose(c.Index(), err)
+	}
+}
+
+// getState checks a readState out of the reader's pool. The state is
+// returned by the last of its holders (the caller plus one goroutine
+// per subscription) via release, which also advances the generation so
+// that straggler relay deliveries for the old read are dropped.
+func (r *Reader) getState() *readState {
+	st, _ := r.states.Get().(*readState)
+	if st == nil {
+		n := len(r.conns)
+		st = &readState{
+			r:        r,
+			initials: make([]Tag, n),
+			hasInit:  make([]bool, n),
+			lost:     make([]bool, n),
+			done:     make(chan struct{}, 1),
+		}
+		st.body = st.runConn
+	}
+	return st
+}
+
+// release drops one hold; the last holder resets the state and pools
+// it.
+func (st *readState) release() {
+	if st.refs.Add(-1) != 0 {
+		return
+	}
+	st.mu.Lock()
+	st.gen++
+	r := st.r
+	for i := 0; i < st.nvers; i++ {
+		b := &st.vers[i]
+		clear(b.ts.elems)
+		b.ts.count, b.ts.tried = 0, 0
+		b.v = version{}
+	}
+	st.nvers = 0
+	clear(st.hasInit)
+	clear(st.lost)
+	for i := range st.initials {
+		st.initials[i] = Tag{}
+	}
+	st.nInit, st.nLost = 0, 0
+	st.tTargetSet, st.tTarget = false, Tag{}
+	st.finished, st.result, st.err = false, ReadResult{}, nil
+	st.rctx, st.key, st.rid, st.sink = nil, "", "", nil
+	st.contact = st.contact[:0]
+	select {
+	case <-st.done: // unconsumed completion signal (caller left via ctx)
+	default:
+	}
+	st.mu.Unlock()
+	r.states.Put(st)
 }
 
 // version identifies one write as a read sees it: the tag plus the
@@ -493,30 +862,61 @@ type version struct {
 	vlen int
 }
 
-// tagState accumulates the coded elements a read has collected for
-// one version.
+// tagState accumulates the coded elements a read has collected for one
+// version, indexed by server — a read touches every element slot, so
+// flat arrays beat per-read maps on both allocation and access.
 type tagState struct {
-	elems map[int][]byte
-	tried int // element count at the last failed decode attempt
+	elems [][]byte // server-indexed; nil = not yet delivered
+	count int      // non-nil entries
+	tried int      // element count at the last failed decode attempt
+}
+
+// versionBucket pairs a version with its element accumulator. The
+// bucket list replaces a map because a read overwhelmingly sees one
+// version (two or three under write concurrency): a linear scan is
+// faster than hashing and the buckets recycle with the state.
+type versionBucket struct {
+	v  version
+	ts tagState
 }
 
 // readState is the mutable heart of one Read: deliveries from all
-// server subscriptions funnel into add, which re-evaluates the
-// completion rule.
+// server subscriptions funnel into addLocked, which re-evaluates the
+// completion rule. States are pooled per Reader; gen stamps each
+// checkout so relay deliveries that outlive their read go inert
+// instead of polluting the next one.
 type readState struct {
 	r  *Reader
 	mu sync.Mutex
 
-	initials   map[int]Tag // server -> tag of its Initial delivery
-	tags       map[version]*tagState
-	lost       map[int]bool // quarantined, crashed, or stream-dead servers
+	gen  uint64       // checkout generation; advanced on pool return
+	refs atomic.Int32 // caller + one per subscription goroutine
+	next atomic.Int32 // conn claim counter for the spawn thunk
+	body func()       // reusable spawn thunk: go st.body() allocates nothing
+
+	// Per-read wiring, set before the spawns, cleared at pool time.
+	rctx    context.Context
+	key     string
+	rid     string
+	sink    func(Delivery)
+	contact []Conn
+
+	initials []Tag  // server-indexed tag of the Initial delivery
+	hasInit  []bool
+	nInit    int
+	lost     []bool // quarantined, crashed, or stream-dead servers
+	nLost    int
+
+	vers  []versionBucket
+	nvers int
+
 	tTargetSet bool
 	tTarget    Tag
 
 	finished bool
 	result   ReadResult
 	err      error
-	done     chan struct{}
+	done     chan struct{} // cap 1; finish sends once per generation
 }
 
 func (st *readState) finish(res ReadResult, err error) {
@@ -526,7 +926,37 @@ func (st *readState) finish(res ReadResult, err error) {
 	}
 	st.finished = true
 	st.result, st.err = res, err
-	close(st.done)
+	st.done <- struct{}{}
+}
+
+// bucket returns the accumulator for v, recycling a cleared bucket
+// from a previous read when one is free.
+func (st *readState) bucket(v version) *tagState {
+	for i := 0; i < st.nvers; i++ {
+		if st.vers[i].v == v {
+			return &st.vers[i].ts
+		}
+	}
+	if st.nvers == len(st.vers) {
+		st.vers = append(st.vers, versionBucket{ts: tagState{elems: make([][]byte, len(st.r.conns))}})
+	}
+	b := &st.vers[st.nvers]
+	b.v = v
+	st.nvers++
+	return &b.ts
+}
+
+// dropBucket clears bucket i and swaps it out of the live range,
+// keeping its element array for reuse.
+func (st *readState) dropBucket(i int) {
+	b := &st.vers[i]
+	clear(b.ts.elems)
+	b.ts.count, b.ts.tried = 0, 0
+	b.v = version{}
+	st.nvers--
+	if i != st.nvers {
+		st.vers[i], st.vers[st.nvers] = st.vers[st.nvers], st.vers[i]
+	}
 }
 
 // lose records a dead server (quarantined, crashed, or stream gone)
@@ -542,19 +972,20 @@ func (st *readState) lose(server int, cause error) {
 		return
 	}
 	st.lost[server] = true
+	st.nLost++
 	n := len(st.r.conns)
 	aliveNew := 0 // live servers that have not yet sent their initial
 	for i := 0; i < n; i++ {
-		if _, got := st.initials[i]; !got && !st.lost[i] {
+		if !st.hasInit[i] && !st.lost[i] {
 			aliveNew++
 		}
 	}
 	// The target tag needs initial responses from n-f distinct
 	// servers; initials already in hand count even if their server
 	// died since.
-	if !st.tTargetSet && len(st.initials)+aliveNew < n-st.r.f {
+	if !st.tTargetSet && st.nInit+aliveNew < n-st.r.f {
 		st.finish(ReadResult{}, fmt.Errorf("%w: server %d lost (%v); %d initial responses reachable, need %d",
-			ErrUnavailable, server, cause, len(st.initials)+aliveNew, n-st.r.f))
+			ErrUnavailable, server, cause, st.nInit+aliveNew, n-st.r.f))
 		return
 	}
 	// Completion needs k+2e elements of one version. A future write
@@ -562,17 +993,18 @@ func (st *readState) lose(server int, cause error) {
 	// an already-seen version can be completed by live servers that
 	// have not contributed to it yet.
 	need := st.r.codec.K() + 2*st.r.e
-	if n-len(st.lost) >= need {
+	if n-st.nLost >= need {
 		return
 	}
 	achievable := 0
-	for v, ts := range st.tags {
-		if st.tTargetSet && v.tag.Less(st.tTarget) {
+	for bi := 0; bi < st.nvers; bi++ {
+		b := &st.vers[bi]
+		if st.tTargetSet && b.v.tag.Less(st.tTarget) {
 			continue
 		}
-		got := len(ts.elems)
+		got := b.ts.count
 		for i := 0; i < n; i++ {
-			if _, has := ts.elems[i]; !has && !st.lost[i] {
+			if b.ts.elems[i] == nil && !st.lost[i] {
 				got++
 			}
 		}
@@ -586,33 +1018,40 @@ func (st *readState) lose(server int, cause error) {
 	}
 }
 
-// add folds one delivery into the read state and checks completion.
-func (st *readState) add(d Delivery) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.finished {
+// addLocked folds one delivery into the read state and checks
+// completion. Callers hold st.mu (the generation-checked sink, and
+// tests driving the state machine directly take it via add).
+func (st *readState) addLocked(d Delivery) {
+	if st.finished || d.Server < 0 || d.Server >= len(st.r.conns) {
 		return
 	}
-	if d.Initial {
-		if _, ok := st.initials[d.Server]; !ok {
-			st.initials[d.Server] = d.Tag
-		}
+	if d.Initial && !st.hasInit[d.Server] {
+		st.hasInit[d.Server] = true
+		st.initials[d.Server] = d.Tag
+		st.nInit++
 	}
-	// Accept only well-formed elements: consistent with the claimed
-	// value length. A malformed element is simply never counted, so
-	// its server contributes nothing to this version.
-	if !d.Tag.IsZero() && d.VLen > 0 && len(d.Elem) == st.r.codec.shardSize(d.VLen) {
-		v := version{tag: d.Tag, vlen: d.VLen}
-		ts := st.tags[v]
-		if ts == nil {
-			ts = &tagState{elems: make(map[int][]byte)}
-			st.tags[v] = ts
-		}
-		if _, ok := ts.elems[d.Server]; !ok {
+	// Accept only well-formed elements consistent with the claimed
+	// value length (a malformed element is simply never counted, so
+	// its server contributes nothing to this version), and only for
+	// versions that can still complete the read: once t* is fixed,
+	// deliveries below it are garbage the completion rule will never
+	// touch, so they are dropped at the door instead of buffered.
+	if !d.Tag.IsZero() && d.VLen > 0 && len(d.Elem) == st.r.codec.shardSize(d.VLen) &&
+		!(st.tTargetSet && d.Tag.Less(st.tTarget)) {
+		ts := st.bucket(version{tag: d.Tag, vlen: d.VLen})
+		if ts.elems[d.Server] == nil {
 			ts.elems[d.Server] = d.Elem
+			ts.count++
 		}
 	}
 	st.check()
+}
+
+// add is addLocked behind the lock.
+func (st *readState) add(d Delivery) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.addLocked(d)
 }
 
 // check applies the completion rule: once initial responses from n-f
@@ -624,48 +1063,73 @@ func (st *readState) check() {
 	// mu held.
 	n := len(st.r.conns)
 	if !st.tTargetSet {
-		if len(st.initials) < n-st.r.f {
+		if st.nInit < n-st.r.f {
 			return
 		}
-		for _, t := range st.initials {
-			if st.tTarget.Less(t) {
-				st.tTarget = t
+		for i := 0; i < n; i++ {
+			if st.hasInit[i] && st.tTarget.Less(st.initials[i]) {
+				st.tTarget = st.initials[i]
 			}
 		}
 		st.tTargetSet = true
+		// GC: every version bucket below t* is now unreachable by the
+		// completion rule; free its element buffers. This is what keeps
+		// a long-registered reader's memory bounded under a write storm
+		// of old tags.
+		for i := 0; i < st.nvers; {
+			if st.vers[i].v.tag.Less(st.tTarget) {
+				st.dropBucket(i)
+			} else {
+				i++
+			}
+		}
 	}
+	// Newest decodable version first: under write concurrency the
+	// freshest one is the one to return. Selection is a repeated max
+	// scan — the bucket list is one or two entries long, and a tried
+	// bucket is never reselected until it grows.
 	need := st.r.codec.K() + 2*st.r.e
-	var cands []version
-	for v, ts := range st.tags {
-		if !v.tag.Less(st.tTarget) && len(ts.elems) >= need && len(ts.elems) > ts.tried {
-			cands = append(cands, v)
+	for {
+		best := -1
+		for i := 0; i < st.nvers; i++ {
+			b := &st.vers[i]
+			if b.ts.count < need || b.ts.count <= b.ts.tried {
+				continue
+			}
+			if best == -1 || newerVersion(b.v, st.vers[best].v) {
+				best = i
+			}
 		}
-	}
-	// Newest first: under write concurrency the freshest decodable
-	// version is the one to return.
-	sort.Slice(cands, func(i, j int) bool {
-		if c := cands[i].tag.Compare(cands[j].tag); c != 0 {
-			return c > 0
+		if best == -1 {
+			break
 		}
-		return cands[i].vlen > cands[j].vlen
-	})
-	for _, v := range cands {
-		ts := st.tags[v]
-		if res, ok := st.decode(v, ts); ok {
+		b := &st.vers[best]
+		if res, ok := st.decode(b.v, &b.ts); ok {
 			st.finish(res, nil)
 			return
 		}
-		ts.tried = len(ts.elems)
+		b.ts.tried = b.ts.count
 	}
 	if st.tTarget.IsZero() {
 		st.finish(ReadResult{}, nil)
 	}
 }
 
+// newerVersion orders candidate versions for decode: higher tag first,
+// then longer claimed value.
+func newerVersion(a, b version) bool {
+	if c := a.tag.Compare(b.tag); c != 0 {
+		return c > 0
+	}
+	return a.vlen > b.vlen
+}
+
 // decode attempts to turn the elements collected for tag t into a
-// value. With e == 0 it erasure-decodes from any k elements. With
-// e > 0 (SODA_err) it runs Verify when all n elements are present —
-// the cheap all-healthy fast path — and otherwise the syndrome error
+// value. With e == 0 it erasure-decodes from any k elements — taking
+// the no-copy fast path when the k systematic data shards are all
+// present, the common case for an uncorrupted cluster. With e > 0
+// (SODA_err) it runs Verify when all n elements are present — the
+// cheap all-healthy fast path — and otherwise the syndrome error
 // decoder, which locates up to e corrupt servers; the guarantee holds
 // because k+2e present elements leave at most n-k-2e erasures, inside
 // the decoding radius. A failed decode (corruption beyond e) reports
@@ -673,17 +1137,41 @@ func (st *readState) check() {
 func (st *readState) decode(v version, ts *tagState) (ReadResult, bool) {
 	codec := st.r.codec
 	n, k := codec.N(), codec.K()
+	need := k + 2*st.r.e
+	if ts.count < need {
+		return ReadResult{}, false
+	}
+
+	if st.r.e == 0 {
+		// Fast path: all k data shards in hand means the value is just
+		// their concatenation — no reconstruction, no defensive clones
+		// (DecodeValue copies out without mutating its inputs).
+		haveData := true
+		for i := 0; i < k; i++ {
+			if ts.elems[i] == nil {
+				haveData = false
+				break
+			}
+		}
+		if haveData {
+			value, err := codec.DecodeValue(ts.elems[:k], v.vlen)
+			if err != nil {
+				return ReadResult{}, false
+			}
+			return ReadResult{Tag: v.tag, Value: value}, true
+		}
+	}
+
 	shards := make([][]byte, n)
 	present := 0
 	for i, el := range ts.elems {
+		if el == nil {
+			continue
+		}
 		// Clone: the decoders repair in place, and delivered elements
 		// may alias server storage (loopback) or later decode tries.
 		shards[i] = slices.Clone(el)
 		present++
-	}
-	need := k + 2*st.r.e
-	if present < need {
-		return ReadResult{}, false
 	}
 
 	var corrupt []int

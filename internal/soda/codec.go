@@ -78,6 +78,36 @@ func (c *Codec) EncodeValue(value []byte) ([][]byte, error) {
 	return shards, nil
 }
 
+// encodeValueInto is EncodeValue against a reusable scratch: the
+// caller's buffer is grown once to n*s and resliced into shards, so a
+// steady-state writer allocates nothing per write. The data region is
+// rebuilt from the value (padding re-zeroed — the buffer is recycled
+// and EncodeInto reads the pad bytes); the parity region needs no
+// clearing because EncodeInto fully overwrites it.
+func (c *Codec) encodeValueInto(value []byte, sc *encodeScratch) error {
+	if len(value) == 0 {
+		return ErrEmptyValue
+	}
+	n, k := c.enc.N(), c.enc.K()
+	s := c.shardSize(len(value))
+	if total := n * s; cap(sc.buf) < total {
+		sc.buf = make([]byte, total)
+	} else {
+		sc.buf = sc.buf[:total]
+	}
+	copy(sc.buf, value)
+	clear(sc.buf[len(value) : k*s])
+	if cap(sc.shards) < n {
+		sc.shards = make([][]byte, n)
+	} else {
+		sc.shards = sc.shards[:n]
+	}
+	for i := range sc.shards {
+		sc.shards[i] = sc.buf[i*s : (i+1)*s]
+	}
+	return c.enc.EncodeInto(sc.shards)
+}
+
 // DecodeValue reassembles a value of vlen bytes from the k data
 // shards (shards[0..k-1] must be present at the element size for
 // vlen; parity entries are ignored).

@@ -107,7 +107,7 @@ func runLinearizability(t *testing.T, codec *Codec, lb *Loopback, writers, reade
 			for j := 0; j < opsEach; j++ {
 				value := fmt.Sprintf("w%d-%d", wi, j)
 				inv := h.begin()
-				tag, err := w.Write(ctx, []byte(value))
+				tag, err := w.Write(ctx, testKey, []byte(value))
 				if err != nil {
 					t.Errorf("writer %d: %v", wi, err)
 					return
@@ -123,7 +123,7 @@ func runLinearizability(t *testing.T, codec *Codec, lb *Loopback, writers, reade
 			defer wg.Done()
 			for j := 0; j < opsEach; j++ {
 				inv := h.begin()
-				res, err := r.Read(ctx)
+				res, err := r.Read(ctx, testKey)
 				if err != nil {
 					t.Errorf("reader %d: %v", ri, err)
 					return

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"slices"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrServerDown is what loopback conns return for a fail-stop-crashed
@@ -26,30 +27,36 @@ var ErrServerDown = errors.New("soda: server is down")
 //     relays first passes through a caller-supplied transform, which
 //     is what the SODA_err read path exists to catch.
 //
-// Loopback is the substrate for deterministic protocol tests and the
-// sodademo binary.
+// Like the TCP transport, loopback conns model the wire's copy
+// semantics: put elements are cloned on the way in, served elements on
+// the way out, so a client reusing a pooled encode buffer can never
+// alias server storage. Loopback is the substrate for deterministic
+// protocol tests and the sodademo binary.
 type Loopback struct {
-	mu        sync.Mutex
-	servers   []*Server
-	crashed   []bool
-	hung      []bool
-	down      []chan struct{} // closed by Crash: ends in-flight subscriptions
-	corrupt   []func([]byte) []byte
-	onDeliver func(server int, readerID string, d Delivery)
+	mu      sync.Mutex // serializes the fault-injection mutators
+	servers []*Server
+	// The fault state is read on every operation and every delivery, so
+	// the hot path samples it with atomics; mu only orders the mutators
+	// against each other.
+	crashed   []atomic.Bool
+	hung      []atomic.Bool
+	down      []atomic.Value // chan struct{}; closed by Crash, replaced by Restart
+	corrupt   []atomic.Pointer[func([]byte) []byte]
+	onDeliver atomic.Pointer[func(server int, key, readerID string, d Delivery)]
 }
 
 // NewLoopback builds an n-server in-process cluster.
 func NewLoopback(n int) *Loopback {
 	lb := &Loopback{
 		servers: make([]*Server, n),
-		crashed: make([]bool, n),
-		hung:    make([]bool, n),
-		down:    make([]chan struct{}, n),
-		corrupt: make([]func([]byte) []byte, n),
+		crashed: make([]atomic.Bool, n),
+		hung:    make([]atomic.Bool, n),
+		down:    make([]atomic.Value, n),
+		corrupt: make([]atomic.Pointer[func([]byte) []byte], n),
 	}
 	for i := range lb.servers {
 		lb.servers[i] = NewServer(i)
-		lb.down[i] = make(chan struct{})
+		lb.down[i].Store(make(chan struct{}))
 	}
 	return lb
 }
@@ -72,9 +79,9 @@ func (l *Loopback) Conns() []Conn {
 // dropped so it relays to nobody.
 func (l *Loopback) Crash(i int) {
 	l.mu.Lock()
-	if !l.crashed[i] {
-		l.crashed[i] = true
-		close(l.down[i])
+	if !l.crashed[i].Load() {
+		l.crashed[i].Store(true)
+		close(l.down[i].Load().(chan struct{}))
 	}
 	l.mu.Unlock()
 	l.servers[i].UnregisterAll()
@@ -84,7 +91,7 @@ func (l *Loopback) Crash(i int) {
 // do not fail. Its registered readers are likewise dropped.
 func (l *Loopback) Hang(i int) {
 	l.mu.Lock()
-	l.hung[i] = true
+	l.hung[i].Store(true)
 	l.mu.Unlock()
 	l.servers[i].UnregisterAll()
 }
@@ -98,11 +105,11 @@ func (l *Loopback) Hang(i int) {
 // for a restart that lost the disk entirely.
 func (l *Loopback) Restart(i int) {
 	l.mu.Lock()
-	if l.crashed[i] {
-		l.crashed[i] = false
-		l.down[i] = make(chan struct{})
+	if l.crashed[i].Load() {
+		l.down[i].Store(make(chan struct{}))
+		l.crashed[i].Store(false)
 	}
-	l.hung[i] = false
+	l.hung[i].Store(false)
 	l.mu.Unlock()
 }
 
@@ -111,9 +118,11 @@ func (l *Loopback) Restart(i int) {
 // underlying storage stays intact, modeling a bad disk sector or a
 // bit-flipping NIC rather than a helpful repair).
 func (l *Loopback) Corrupt(i int, fn func([]byte) []byte) {
-	l.mu.Lock()
-	l.corrupt[i] = fn
-	l.mu.Unlock()
+	if fn == nil {
+		l.corrupt[i].Store(nil)
+		return
+	}
+	l.corrupt[i].Store(&fn)
 }
 
 // FlipByte is a ready-made Corrupt transform: XOR the byte at off.
@@ -130,43 +139,38 @@ func FlipByte(off int) func([]byte) []byte {
 // to a reader, with no loopback locks held — tests use it to inject
 // faults at exact protocol moments (for example, crash a server right
 // after its initial response reaches a reader).
-func (l *Loopback) OnDeliver(fn func(server int, readerID string, d Delivery)) {
-	l.mu.Lock()
-	l.onDeliver = fn
-	l.mu.Unlock()
+func (l *Loopback) OnDeliver(fn func(server int, key, readerID string, d Delivery)) {
+	if fn == nil {
+		l.onDeliver.Store(nil)
+		return
+	}
+	l.onDeliver.Store(&fn)
 }
 
 // state samples the fault flags for server i.
 func (l *Loopback) state(i int) (crashed, hung bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.crashed[i], l.hung[i]
+	return l.crashed[i].Load(), l.hung[i].Load()
 }
 
-// downCh samples server i's crash channel; Restart replaces it, so it
-// must be read under the lock.
+// downCh samples server i's crash channel (Restart replaces it).
 func (l *Loopback) downCh(i int) chan struct{} {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.down[i]
+	return l.down[i].Load().(chan struct{})
 }
 
 // transform applies server i's corruption, if any, to a copy of the
 // delivery's element.
 func (l *Loopback) transform(i int, d Delivery) Delivery {
-	l.mu.Lock()
-	fn := l.corrupt[i]
-	l.mu.Unlock()
-	if fn != nil && len(d.Elem) > 0 {
-		d.Elem = fn(slices.Clone(d.Elem))
+	if fn := l.corrupt[i].Load(); fn != nil && len(d.Elem) > 0 {
+		d.Elem = (*fn)(slices.Clone(d.Elem))
 	}
 	return d
 }
 
-func (l *Loopback) hook() func(server int, readerID string, d Delivery) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.onDeliver
+func (l *Loopback) hook() func(server int, key, readerID string, d Delivery) {
+	if fn := l.onDeliver.Load(); fn != nil {
+		return *fn
+	}
+	return nil
 }
 
 // loopConn is the in-process Conn for one server.
@@ -195,22 +199,24 @@ func (c *loopConn) gate(ctx context.Context) error {
 	return nil
 }
 
-func (c *loopConn) GetTag(ctx context.Context) (Tag, error) {
+func (c *loopConn) GetTag(ctx context.Context, key string) (Tag, error) {
 	if err := c.gate(ctx); err != nil {
 		return Tag{}, err
 	}
-	return c.lb.servers[c.idx].GetTag(), nil
+	return c.lb.servers[c.idx].GetTag(key), nil
 }
 
-func (c *loopConn) PutData(ctx context.Context, t Tag, elem []byte, vlen int) error {
+func (c *loopConn) PutData(ctx context.Context, key string, t Tag, elem []byte, vlen int) error {
 	if err := c.gate(ctx); err != nil {
 		return err
 	}
-	c.lb.servers[c.idx].PutData(t, elem, vlen)
+	// The wire would copy: the server takes ownership, and the caller
+	// (a pooled writer scratch) is free to reuse elem immediately.
+	c.lb.servers[c.idx].PutData(key, t, slices.Clone(elem), vlen)
 	return nil
 }
 
-func (c *loopConn) GetData(ctx context.Context, readerID string, deliver func(Delivery)) error {
+func (c *loopConn) GetData(ctx context.Context, key, readerID string, deliver func(Delivery)) error {
 	if err := c.gate(ctx); err != nil {
 		return err
 	}
@@ -218,13 +224,13 @@ func (c *loopConn) GetData(ctx context.Context, readerID string, deliver func(De
 		d = c.lb.transform(c.idx, d)
 		deliver(d)
 		if fn := c.lb.hook(); fn != nil {
-			fn(c.idx, readerID, d)
+			fn(c.idx, key, readerID, d)
 		}
 	}
 	srv := c.lb.servers[c.idx]
 	down := c.lb.downCh(c.idx)
-	initial := srv.Register(readerID, wrap)
-	defer srv.Unregister(readerID)
+	initial := srv.Register(key, readerID, wrap)
+	defer srv.Unregister(key, readerID)
 	wrap(initial)
 	select {
 	case <-ctx.Done():
@@ -238,11 +244,12 @@ func (c *loopConn) GetData(ctx context.Context, readerID string, deliver func(De
 // applies here too: a rotting server lies to the Repairer exactly as
 // it lies to readers, which is why repair cross-checks donors when the
 // codec has error-location structure.
-func (c *loopConn) GetElem(ctx context.Context) (Tag, []byte, int, error) {
+func (c *loopConn) GetElem(ctx context.Context, key string) (Tag, []byte, int, error) {
 	if err := c.gate(ctx); err != nil {
 		return Tag{}, nil, 0, err
 	}
-	t, elem, vlen := c.lb.servers[c.idx].Snapshot()
+	c.lb.servers[c.idx].metrics.getElems.Add(1)
+	t, elem, vlen := c.lb.servers[c.idx].Snapshot(key)
 	d := c.lb.transform(c.idx, Delivery{Server: c.idx, Tag: t, Elem: elem, VLen: vlen})
 	if len(d.Elem) > 0 && &d.Elem[0] == &elem[0] {
 		// No transform ran: copy out of the server's live buffer so a
@@ -252,9 +259,17 @@ func (c *loopConn) GetElem(ctx context.Context) (Tag, []byte, int, error) {
 	return d.Tag, d.Elem, d.VLen, nil
 }
 
-func (c *loopConn) RepairPut(ctx context.Context, t Tag, elem []byte, vlen int) (bool, error) {
+func (c *loopConn) RepairPut(ctx context.Context, key string, t Tag, elem []byte, vlen int) (bool, error) {
 	if err := c.gate(ctx); err != nil {
 		return false, err
 	}
-	return c.lb.servers[c.idx].RepairPut(t, elem, vlen), nil
+	return c.lb.servers[c.idx].RepairPut(key, t, slices.Clone(elem), vlen), nil
+}
+
+// Keys enumerates the server's written keys — the repair namespace.
+func (c *loopConn) Keys(ctx context.Context) ([]string, error) {
+	if err := c.gate(ctx); err != nil {
+		return nil, err
+	}
+	return c.lb.servers[c.idx].Keys(), nil
 }

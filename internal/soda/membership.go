@@ -56,10 +56,11 @@ var errCorruptElement = errors.New("soda: read located a corrupt element")
 // probes it and readmits it, and an undetected-bad server is the case
 // the SODA_err read path already tolerates within its e budget.
 type Membership struct {
-	mu    sync.Mutex
-	state []Health
-	cause []error
-	epoch uint64
+	mu          sync.Mutex
+	state       []Health
+	cause       []error
+	epoch       uint64
+	quarantines uint64
 	// changed is closed and replaced on every transition, so waiters
 	// (the repair loop) wake without polling.
 	changed chan struct{}
@@ -153,10 +154,23 @@ func (m *Membership) MarkSuspect(i int, cause error) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	wasLive := m.state[i] == Live
+	if wasLive {
+		m.quarantines++
+	}
 	m.state[i] = Suspect
 	m.cause[i] = cause
 	m.broadcast()
 	return wasLive
+}
+
+// Quarantines counts Live→Suspect transitions since the view was
+// built — how many times the cluster has pulled a server out of
+// quorums (re-suspecting an already-quarantined server doesn't
+// count).
+func (m *Membership) Quarantines() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.quarantines
 }
 
 // MarkRepairing claims server i for a repair attempt. It succeeds only

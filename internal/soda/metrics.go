@@ -1,0 +1,78 @@
+package soda
+
+import "sync/atomic"
+
+// Metrics is a dependency-free set of monotonic server counters,
+// incremented on the state-machine hot paths with atomics so both
+// transports (loopback and TCP) count identically and nothing ever
+// takes a lock to observe. Read it with Snapshot.
+type Metrics struct {
+	getTags        atomic.Uint64
+	putDatas       atomic.Uint64
+	getDatas       atomic.Uint64
+	getElems       atomic.Uint64
+	keyLists       atomic.Uint64
+	repairPuts     atomic.Uint64
+	repairInstalls atomic.Uint64
+	relays         atomic.Uint64
+	relayDrops     atomic.Uint64
+	regGCs         atomic.Uint64
+	registerGCs    atomic.Uint64
+}
+
+// MetricsSnapshot is one consistent-enough picture of a server's
+// counters plus the current namespace gauges. Counters are monotonic;
+// gauges are instantaneous.
+type MetricsSnapshot struct {
+	GetTags        uint64 // get-tag requests served
+	PutDatas       uint64 // put-data requests served
+	GetDatas       uint64 // reader registrations opened (get-data)
+	GetElems       uint64 // repair collections served (get-elem)
+	KeyLists       uint64 // key enumerations served
+	RepairPuts     uint64 // repair-put requests served
+	RepairInstalls uint64 // repair-puts that actually installed
+	Relays         uint64 // deliveries relayed to registered readers
+	RelayDrops     uint64 // deliveries dropped on relay-queue overflow
+	RegGCs         uint64 // reader registrations garbage-collected
+	RegisterGCs    uint64 // empty registers removed from the namespace
+	Registers      uint64 // gauge: registers currently in the namespace
+	Registrations  uint64 // gauge: reader registrations currently held
+}
+
+// Snapshot reads every counter. Gauge fields are zero here; Server's
+// MetricsSnapshot fills them from the shard maps.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		GetTags:        m.getTags.Load(),
+		PutDatas:       m.putDatas.Load(),
+		GetDatas:       m.getDatas.Load(),
+		GetElems:       m.getElems.Load(),
+		KeyLists:       m.keyLists.Load(),
+		RepairPuts:     m.repairPuts.Load(),
+		RepairInstalls: m.repairInstalls.Load(),
+		Relays:         m.relays.Load(),
+		RelayDrops:     m.relayDrops.Load(),
+		RegGCs:         m.regGCs.Load(),
+		RegisterGCs:    m.registerGCs.Load(),
+	}
+}
+
+// Add accumulates another snapshot into s, so a harness can report one
+// cluster-wide line instead of n per-server ones. Gauges add too: the
+// sum is "registers held across the cluster", which for an n-way
+// replicated namespace is n× the key count.
+func (s *MetricsSnapshot) Add(o MetricsSnapshot) {
+	s.GetTags += o.GetTags
+	s.PutDatas += o.PutDatas
+	s.GetDatas += o.GetDatas
+	s.GetElems += o.GetElems
+	s.KeyLists += o.KeyLists
+	s.RepairPuts += o.RepairPuts
+	s.RepairInstalls += o.RepairInstalls
+	s.Relays += o.Relays
+	s.RelayDrops += o.RelayDrops
+	s.RegGCs += o.RegGCs
+	s.RegisterGCs += o.RegisterGCs
+	s.Registers += o.Registers
+	s.Registrations += o.Registrations
+}

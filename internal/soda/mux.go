@@ -1,0 +1,417 @@
+package soda
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// MuxConn is the persistent multiplexed TCP client: one long-lived
+// connection per server carrying every concurrent exchange — get-tag,
+// put-data, get-elem, repair-put, keys — pipelined and routed back by
+// request id, plus any number of key-scoped relay streams. A demux
+// pump (readLoop) routes each inbound frame to the exchange that owns
+// its request id; responses for unknown ids are dropped on the floor,
+// which makes late responses to cancelled requests harmless.
+//
+// The connection is established lazily and re-established on demand
+// after a failure; concurrent operations needing a connection share
+// one dial (singleflight) instead of stampeding the server. A
+// connection failure fails every in-flight exchange on it — the
+// per-server error the quorum layer already knows how to charge.
+var errConnClosed = errors.New("soda: mux conn closed")
+
+// muxSession is one live connection generation. err is set exactly
+// once, before done closes, so any goroutine that observed done may
+// read it.
+type muxSession struct {
+	conn net.Conn
+	done chan struct{}
+	err  error
+	once sync.Once
+}
+
+func (s *muxSession) fail(err error) {
+	s.once.Do(func() {
+		s.err = err
+		close(s.done)
+	})
+	s.conn.Close()
+}
+
+// dialAttempt is the singleflight cell concurrent session() calls
+// share: the winner dials and publishes, the rest wait on done.
+type dialAttempt struct {
+	done chan struct{}
+	sess *muxSession
+	err  error
+}
+
+// MuxConn implements Conn over one persistent multiplexed connection.
+type MuxConn struct {
+	idx    int
+	addr   string
+	policy dialPolicy
+
+	reqSeq atomic.Uint64
+	wmu    sync.Mutex // serializes frame writes to the live connection
+
+	mu      sync.Mutex
+	sess    *muxSession
+	dialing *dialAttempt
+	closed  bool
+	pending map[uint64]chan []byte  // unary waiters by request id
+	streams map[uint64]func(Delivery) // get-data sinks by request id
+}
+
+// TCPMuxConn returns the multiplexed Conn for the server at shard
+// index idx on addr. Connections are dialed on first use.
+func TCPMuxConn(idx int, addr string, opts ...TCPOption) *MuxConn {
+	c := &MuxConn{
+		idx:     idx,
+		addr:    addr,
+		policy:  defaultDialPolicy(),
+		pending: make(map[uint64]chan []byte),
+		streams: make(map[uint64]func(Delivery)),
+	}
+	for _, opt := range opts {
+		opt(&c.policy)
+	}
+	return c
+}
+
+// TCPMuxConns builds the multiplexed conn set for a cluster from its
+// address list, in shard-index order.
+func TCPMuxConns(addrs []string, opts ...TCPOption) []Conn {
+	conns := make([]Conn, len(addrs))
+	for i, a := range addrs {
+		conns[i] = TCPMuxConn(i, a, opts...)
+	}
+	return conns
+}
+
+// CloseConns closes every MuxConn in a conn set (other Conn
+// implementations hold no persistent state and are skipped).
+func CloseConns(conns []Conn) {
+	for _, c := range conns {
+		if mc, ok := c.(*MuxConn); ok {
+			mc.Close()
+		}
+	}
+}
+
+func (c *MuxConn) Index() int { return c.idx }
+
+// Close tears down the connection and fails in-flight exchanges;
+// subsequent operations error instead of redialing.
+func (c *MuxConn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	s := c.sess
+	c.mu.Unlock()
+	if s != nil {
+		c.teardown(s, errConnClosed)
+	}
+	return nil
+}
+
+// session returns the live connection, dialing (once, shared) if
+// needed.
+func (c *MuxConn) session(ctx context.Context) (*muxSession, error) {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, errConnClosed
+		}
+		if c.sess != nil {
+			s := c.sess
+			c.mu.Unlock()
+			return s, nil
+		}
+		att := c.dialing
+		if att == nil {
+			att = &dialAttempt{done: make(chan struct{})}
+			c.dialing = att
+			c.mu.Unlock()
+			conn, err := c.policy.dial(ctx, c.addr)
+			c.mu.Lock()
+			c.dialing = nil
+			if err == nil && c.closed {
+				err = errConnClosed
+				conn.Close()
+				conn = nil
+			}
+			if err != nil {
+				c.mu.Unlock()
+				att.err = err
+				close(att.done)
+				return nil, err
+			}
+			s := &muxSession{conn: conn, done: make(chan struct{})}
+			c.sess = s
+			c.mu.Unlock()
+			att.sess = s
+			close(att.done)
+			go c.readLoop(s)
+			return s, nil
+		}
+		c.mu.Unlock()
+		select {
+		case <-att.done:
+			if att.sess != nil {
+				return att.sess, nil
+			}
+			return nil, att.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// teardown fails a session and clears every exchange registered on it.
+// Waiters wake via the session's done channel and read its error.
+func (c *MuxConn) teardown(s *muxSession, err error) {
+	c.mu.Lock()
+	if c.sess == s {
+		c.sess = nil
+		c.pending = make(map[uint64]chan []byte)
+		c.streams = make(map[uint64]func(Delivery))
+	}
+	c.mu.Unlock()
+	s.fail(err)
+}
+
+// frameForSend starts a pooled frame with room for the length prefix,
+// so the whole frame goes out in one conn.Write.
+func frameForSend() *[]byte {
+	bp := getFrame()
+	*bp = append(*bp, 0, 0, 0, 0)
+	return bp
+}
+
+// writeBuf finishes and writes a frame built by frameForSend,
+// recycling the buffer.
+func (c *MuxConn) writeBuf(s *muxSession, bp *[]byte) error {
+	p := *bp
+	if len(p)-4 > maxFrame {
+		putFrame(bp)
+		return fmt.Errorf("%w: %d byte frame exceeds %d", ErrFrame, len(p)-4, maxFrame)
+	}
+	binary.BigEndian.PutUint32(p[:4], uint32(len(p)-4))
+	c.wmu.Lock()
+	_, err := s.conn.Write(p)
+	c.wmu.Unlock()
+	putFrame(bp)
+	return err
+}
+
+// readLoop is the demux pump: route every inbound frame by (type,
+// request id). Stream deliveries are decoded here (the buffer is
+// reused; decoders copy elements out); unary responses are handed to
+// their waiter whole.
+func (c *MuxConn) readLoop(s *muxSession) {
+	br := bufio.NewReader(s.conn)
+	var buf []byte
+	for {
+		payload, err := readFrame(br, buf)
+		if err != nil {
+			c.teardown(s, err)
+			return
+		}
+		typ, req, ok := peekHeader(payload)
+		if !ok {
+			c.teardown(s, &FrameError{Want: "header", Msg: "short frame"})
+			return
+		}
+		switch {
+		case typ == msgData:
+			buf = payload
+			_, d, err := decodeData(payload)
+			if err != nil {
+				c.teardown(s, err)
+				return
+			}
+			c.mu.Lock()
+			deliver := c.streams[req]
+			c.mu.Unlock()
+			if deliver != nil {
+				d.Server = c.idx
+				deliver(d)
+			}
+		case typ == msgError && req == 0:
+			// Connection-level error: the server could not even parse a
+			// header on this connection; nothing multiplexed on it can
+			// be trusted to complete.
+			buf = payload
+			_, rerr := decodeError(payload)
+			if rerr == nil {
+				rerr = errors.New("soda: unspecified connection error")
+			}
+			c.teardown(s, rerr)
+			return
+		default:
+			c.mu.Lock()
+			ch := c.pending[req]
+			if ch != nil {
+				delete(c.pending, req)
+			}
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- payload // buffered; never blocks the pump
+				buf = nil     // ownership moved to the waiter
+			} else {
+				buf = payload // response for a cancelled or unknown exchange
+			}
+		}
+	}
+}
+
+// unary runs one request/response exchange: register a waiter, send
+// the frame, wait for the pump to route the response back.
+func (c *MuxConn) unary(ctx context.Context, build func(b []byte, req uint64) []byte) ([]byte, error) {
+	s, err := c.session(ctx)
+	if err != nil {
+		return nil, err
+	}
+	req := c.reqSeq.Add(1)
+	ch := make(chan []byte, 1)
+	c.mu.Lock()
+	if c.sess != s {
+		c.mu.Unlock()
+		select {
+		case <-s.done:
+			return nil, s.err
+		default:
+			return nil, errConnClosed
+		}
+	}
+	c.pending[req] = ch
+	c.mu.Unlock()
+	bp := frameForSend()
+	*bp = build(*bp, req)
+	if err := c.writeBuf(s, bp); err != nil {
+		c.mu.Lock()
+		delete(c.pending, req)
+		c.mu.Unlock()
+		c.teardown(s, err)
+		return nil, err
+	}
+	select {
+	case payload := <-ch:
+		return payload, nil
+	case <-s.done:
+		return nil, s.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, req)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+func (c *MuxConn) GetTag(ctx context.Context, key string) (Tag, error) {
+	payload, err := c.unary(ctx, func(b []byte, req uint64) []byte {
+		return appendGetTag(b, req, key)
+	})
+	if err != nil {
+		return Tag{}, err
+	}
+	_, t, err := decodeTagResp(payload)
+	return t, err
+}
+
+func (c *MuxConn) PutData(ctx context.Context, key string, t Tag, elem []byte, vlen int) error {
+	payload, err := c.unary(ctx, func(b []byte, req uint64) []byte {
+		return appendPutData(b, req, key, t, elem, vlen)
+	})
+	if err != nil {
+		return err
+	}
+	_, err = decodeAck(payload)
+	return err
+}
+
+func (c *MuxConn) GetElem(ctx context.Context, key string) (Tag, []byte, int, error) {
+	payload, err := c.unary(ctx, func(b []byte, req uint64) []byte {
+		return appendGetElem(b, req, key)
+	})
+	if err != nil {
+		return Tag{}, nil, 0, err
+	}
+	_, t, elem, vlen, err := decodeElemResp(payload)
+	return t, elem, vlen, err
+}
+
+func (c *MuxConn) RepairPut(ctx context.Context, key string, t Tag, elem []byte, vlen int) (bool, error) {
+	payload, err := c.unary(ctx, func(b []byte, req uint64) []byte {
+		return appendRepairPut(b, req, key, t, elem, vlen)
+	})
+	if err != nil {
+		return false, err
+	}
+	_, accepted, err := decodeRepairResp(payload)
+	return accepted, err
+}
+
+func (c *MuxConn) Keys(ctx context.Context) ([]string, error) {
+	payload, err := c.unary(ctx, func(b []byte, req uint64) []byte {
+		return appendKeysReq(b, req)
+	})
+	if err != nil {
+		return nil, err
+	}
+	_, keys, err := decodeKeysResp(payload)
+	return keys, err
+}
+
+// GetData opens a key-scoped relay stream: register the sink under a
+// fresh request id and let the pump feed it until the caller cancels
+// (clean unsubscribe, nil) or the connection dies (server lost,
+// error). Cancellation sends a best-effort reader-done so the server
+// drops the registration promptly instead of at connection teardown.
+func (c *MuxConn) GetData(ctx context.Context, key, readerID string, deliver func(Delivery)) error {
+	s, err := c.session(ctx)
+	if err != nil {
+		return err
+	}
+	req := c.reqSeq.Add(1)
+	c.mu.Lock()
+	if c.sess != s {
+		c.mu.Unlock()
+		select {
+		case <-s.done:
+			return s.err
+		default:
+			return errConnClosed
+		}
+	}
+	c.streams[req] = deliver
+	c.mu.Unlock()
+	bp := frameForSend()
+	*bp = appendGetData(*bp, req, key, readerID)
+	if err := c.writeBuf(s, bp); err != nil {
+		c.mu.Lock()
+		delete(c.streams, req)
+		c.mu.Unlock()
+		c.teardown(s, err)
+		return err
+	}
+	select {
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.streams, req)
+		c.mu.Unlock()
+		bp := frameForSend()
+		*bp = appendReaderDone(*bp, req)
+		c.writeBuf(s, bp) // best effort; a dead conn fails on its own
+		return nil
+	case <-s.done:
+		return s.err
+	}
+}

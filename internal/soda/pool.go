@@ -1,0 +1,58 @@
+package soda
+
+import "sync"
+
+// workerPool amortizes goroutine startup for the protocol's fan-outs.
+// Every write runs one leg per server and every read one subscription
+// per server; spawning those as fresh goroutines means each one starts
+// on a minimum stack and grows it through the same deep server call
+// chain, only for the runtime to shrink the stack again at exit. The
+// pool parks finished workers instead (LIFO, so the hottest worker —
+// the one whose stack is already grown and cached — goes out first)
+// and grows without bound under load: a leg can block for its whole
+// operation, so throttling here would deadlock fault-riding quorums.
+// Idle workers beyond the cap exit; the rest park on their channel,
+// where the GC is free to shrink their stacks if load never returns.
+type workerPool struct {
+	mu   sync.Mutex
+	idle []chan func()
+}
+
+// maxIdleWorkers bounds the parked-goroutine count. It only needs to
+// cover the steady-state fan-out concurrency; beyond it, workers fall
+// back to exiting like plain goroutines.
+const maxIdleWorkers = 1024
+
+// spawnPool is shared by all clients in the process — reads and
+// writes fan out through the same workers.
+var spawnPool workerPool
+
+// spawn runs fn on a pooled worker, starting a new one only when none
+// is idle. fn may block indefinitely.
+func (p *workerPool) spawn(fn func()) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		ch := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		ch <- fn
+		return
+	}
+	p.mu.Unlock()
+	ch := make(chan func(), 1)
+	ch <- fn
+	go p.work(ch)
+}
+
+func (p *workerPool) work(ch chan func()) {
+	for fn := range ch {
+		fn()
+		p.mu.Lock()
+		if len(p.idle) >= maxIdleWorkers {
+			p.mu.Unlock()
+			return
+		}
+		p.idle = append(p.idle, ch)
+		p.mu.Unlock()
+	}
+}

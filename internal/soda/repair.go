@@ -67,10 +67,13 @@ func (o RepairOutcome) String() string {
 	return "unknown"
 }
 
-// RepairEvent is the observability record of one repair attempt,
-// delivered to the WithRepairEvents hook.
+// RepairEvent is the observability record of one per-key repair
+// attempt, delivered to the WithRepairEvents hook. Key is empty when
+// the whole namespace was empty and the attempt degenerated into a
+// reachability probe.
 type RepairEvent struct {
 	Server  int
+	Key     string
 	Outcome RepairOutcome
 	Tag     Tag   // tag installed or confirmed
 	Corrupt []int // donors the rebuild located as corrupt, if any
@@ -222,10 +225,14 @@ type donation struct {
 }
 
 // RepairOnce runs a single repair attempt for a Suspect server:
-// collect elements from the live servers, regenerate the suspect's
-// shard of the highest version k of them vouch for, install it with
-// RepairPut, and readmit the server. On failure the server is left
-// Suspect (with the failure as its cause) for the loop to retry.
+// enumerate the keys the live servers hold, and for each one collect
+// its elements, regenerate the suspect's shard of the highest version
+// k donors vouch for, and install it with RepairPut; then readmit the
+// server. The returned outcome is the strongest across the keys (any
+// install wins over already-current wins over empty). On failure the
+// server is left Suspect (with the failure as its cause) for the loop
+// to retry — a partial repair is safe to re-run, since every install
+// is tag-monotone and idempotent.
 func (rp *Repairer) RepairOnce(ctx context.Context, target int) (RepairOutcome, error) {
 	if !rp.m.MarkRepairing(target) {
 		return 0, fmt.Errorf("%w: server %d is %v, not suspect", ErrConfig, target, rp.m.Health(target))
@@ -245,22 +252,99 @@ func (rp *Repairer) RepairOnce(ctx context.Context, target int) (RepairOutcome, 
 }
 
 func (rp *Repairer) repair(ctx context.Context, target int) (RepairOutcome, error) {
-	donations, err := rp.collect(ctx, target)
+	keys, err := rp.keyUnion(ctx, target)
+	if err != nil {
+		return 0, err
+	}
+	if len(keys) == 0 {
+		// Nothing is written anywhere the live servers know of: there
+		// is no element to regenerate for any key. A reachability probe
+		// (the cheapest unary) proves the target answers, which is all
+		// readmission needs.
+		if _, err := rp.conns[connIndex(rp.conns, target)].Keys(ctx); err != nil {
+			return 0, fmt.Errorf("reachability probe of server %d: %w", target, err)
+		}
+		rp.event(RepairEvent{Server: target, Outcome: RepairEmptyRegister})
+		return RepairEmptyRegister, nil
+	}
+	// Heal every key; the aggregate outcome is the strongest observed
+	// (RepairOutcome orders installed < already-current < empty).
+	outcome := RepairEmptyRegister
+	for _, key := range keys {
+		o, err := rp.repairKey(ctx, target, key)
+		if err != nil {
+			return 0, err
+		}
+		if o < outcome {
+			outcome = o
+		}
+	}
+	return outcome, nil
+}
+
+// keyUnion enumerates the keys held across the live donors — the
+// namespace the target must be healed over. Donors that fail the
+// enumeration are marked suspect and skipped; at least one must
+// answer.
+func (rp *Repairer) keyUnion(ctx context.Context, target int) ([]string, error) {
+	var (
+		mu      sync.Mutex
+		union   = make(map[string]struct{})
+		answers int
+	)
+	var wg sync.WaitGroup
+	for _, c := range rp.conns {
+		if c.Index() == target || !rp.m.IsLive(c.Index()) {
+			continue
+		}
+		wg.Add(1)
+		go func(c Conn) {
+			defer wg.Done()
+			keys, err := c.Keys(ctx)
+			if err != nil {
+				reportSuspect(rp.m, ctx, c.Index(), err)
+				return
+			}
+			mu.Lock()
+			answers++
+			for _, k := range keys {
+				union[k] = struct{}{}
+			}
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	if answers == 0 {
+		return nil, fmt.Errorf("%w: no live donor answered the key enumeration", ErrRepairQuorum)
+	}
+	keys := make([]string, 0, len(union))
+	for k := range union {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys, nil
+}
+
+func (rp *Repairer) repairKey(ctx context.Context, target int, key string) (RepairOutcome, error) {
+	donations, err := rp.collect(ctx, target, key)
 	if err != nil {
 		return 0, err
 	}
 	ver, elems := chooseVersion(donations, rp.codec.K())
 	if elems == nil {
-		return 0, fmt.Errorf("%w: %d donors", ErrRepairQuorum, len(donations))
+		return 0, fmt.Errorf("%w: key %q, %d donors", ErrRepairQuorum, key, len(donations))
 	}
 
 	var install []byte
 	var corrupt []int
 	outcome := RepairInstalled
 	if ver.tag.IsZero() {
-		// The register is unwritten as far as the live servers know:
+		// The key is unwritten as far as the live servers agree:
 		// nothing to regenerate. The RepairPut below degenerates into a
-		// reachability probe that readmits the server.
+		// reachability probe for this key.
 		outcome = RepairEmptyRegister
 	} else {
 		install, corrupt, err = rp.rebuild(target, ver, elems)
@@ -275,9 +359,9 @@ func (rp *Repairer) repair(ctx context.Context, target int) (RepairOutcome, erro
 		}
 	}
 
-	accepted, err := rp.conns[connIndex(rp.conns, target)].RepairPut(ctx, ver.tag, install, ver.vlen)
+	accepted, err := rp.conns[connIndex(rp.conns, target)].RepairPut(ctx, key, ver.tag, install, ver.vlen)
 	if err != nil {
-		return 0, fmt.Errorf("repair-put to server %d: %w", target, err)
+		return 0, fmt.Errorf("repair-put of key %q to server %d: %w", key, target, err)
 	}
 	if !accepted {
 		// The server already holds a newer tag than anything k live
@@ -285,15 +369,15 @@ func (rp *Repairer) repair(ctx context.Context, target int) (RepairOutcome, erro
 		// tag-monotone: that is health.
 		outcome = RepairAlreadyCurrent
 	}
-	rp.event(RepairEvent{Server: target, Outcome: outcome, Tag: ver.tag, Corrupt: corrupt})
+	rp.event(RepairEvent{Server: target, Key: key, Outcome: outcome, Tag: ver.tag, Corrupt: corrupt})
 	return outcome, nil
 }
 
-// collect fans msgGetElem out to every live server except the target
-// and gathers the well-formed answers. Transport failures mark the
-// donor suspect (it will get its own repair) but do not fail the
+// collect fans msgGetElem for key out to every live server except the
+// target and gathers the well-formed answers. Transport failures mark
+// the donor suspect (it will get its own repair) but do not fail the
 // collection unless fewer than k donors remain.
-func (rp *Repairer) collect(ctx context.Context, target int) ([]donation, error) {
+func (rp *Repairer) collect(ctx context.Context, target int, key string) ([]donation, error) {
 	var (
 		mu        sync.Mutex
 		donations []donation
@@ -306,7 +390,7 @@ func (rp *Repairer) collect(ctx context.Context, target int) ([]donation, error)
 		wg.Add(1)
 		go func(c Conn) {
 			defer wg.Done()
-			t, elem, vlen, err := c.GetElem(ctx)
+			t, elem, vlen, err := c.GetElem(ctx, key)
 			if err != nil {
 				reportSuspect(rp.m, ctx, c.Index(), err)
 				return

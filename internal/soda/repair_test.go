@@ -100,33 +100,33 @@ func TestMembershipLifecycle(t *testing.T) {
 func TestRepairPutNeverRollsBack(t *testing.T) {
 	s := NewServer(0)
 	t5 := Tag{TS: 5, Writer: "w"}
-	s.PutData(t5, []byte{1, 2, 3}, 9)
+	s.PutData(testKey, t5, []byte{1, 2, 3}, 9)
 
-	if s.RepairPut(Tag{TS: 3, Writer: "w"}, []byte{9}, 3) {
+	if s.RepairPut(testKey, Tag{TS: 3, Writer: "w"}, []byte{9}, 3) {
 		t.Fatal("RepairPut accepted a lower tag")
 	}
-	if tag, elem, vlen := s.Snapshot(); tag != t5 || vlen != 9 || !bytes.Equal(elem, []byte{1, 2, 3}) {
+	if tag, elem, vlen := s.Snapshot(testKey); tag != t5 || vlen != 9 || !bytes.Equal(elem, []byte{1, 2, 3}) {
 		t.Fatalf("rejected repair mutated state: %v %v %d", tag, elem, vlen)
 	}
-	if !s.RepairPut(t5, []byte{7, 7, 7}, 9) {
+	if !s.RepairPut(testKey, t5, []byte{7, 7, 7}, 9) {
 		t.Fatal("RepairPut rejected an equal tag")
 	}
-	if _, elem, _ := s.Snapshot(); !bytes.Equal(elem, []byte{7, 7, 7}) {
+	if _, elem, _ := s.Snapshot(testKey); !bytes.Equal(elem, []byte{7, 7, 7}) {
 		t.Fatal("equal-tag repair did not replace the element")
 	}
 	t6 := Tag{TS: 6, Writer: "w"}
-	if !s.RepairPut(t6, []byte{8}, 1) {
+	if !s.RepairPut(testKey, t6, []byte{8}, 1) {
 		t.Fatal("RepairPut rejected a higher tag")
 	}
-	if tag, _, _ := s.Snapshot(); tag != t6 {
+	if tag, _, _ := s.Snapshot(testKey); tag != t6 {
 		t.Fatalf("tag after higher repair = %v", tag)
 	}
 
 	// An accepted repair relays to registered readers like a put-data.
 	got := make(chan Delivery, 1)
-	s.Register("r#1", func(d Delivery) { got <- d })
+	s.Register(testKey, "r#1", func(d Delivery) { got <- d })
 	t7 := Tag{TS: 7, Writer: "w"}
-	s.RepairPut(t7, []byte{4, 4}, 2)
+	s.RepairPut(testKey, t7, []byte{4, 4}, 2)
 	select {
 	case d := <-got:
 		if d.Tag != t7 || !bytes.Equal(d.Elem, []byte{4, 4}) {
@@ -147,14 +147,14 @@ func TestRepairRestoresCrashedServer(t *testing.T) {
 	w := mustWriter(t, "w1", codec, lb.Conns(), WithWriterMembership(m))
 	rp := mustRepairer(t, codec, lb.Conns(), m)
 
-	if _, err := w.Write(ctx, []byte("version one")); err != nil {
+	if _, err := w.Write(ctx, testKey, []byte("version one")); err != nil {
 		t.Fatalf("Write: %v", err)
 	}
 	lb.Crash(4)
 	m.MarkSuspect(4, ErrServerDown)
 
 	v2 := []byte("version two, missed by server 4")
-	tag2, err := w.Write(ctx, v2)
+	tag2, err := w.Write(ctx, testKey, v2)
 	if err != nil {
 		t.Fatalf("Write around the crash: %v", err)
 	}
@@ -177,7 +177,7 @@ func TestRepairRestoresCrashedServer(t *testing.T) {
 		t.Fatalf("outcome = %v, want installed", out)
 	}
 	shards2, _ := codec.EncodeValue(v2)
-	tag, elem, vlen := lb.Server(4).Snapshot()
+	tag, elem, vlen := lb.Server(4).Snapshot(testKey)
 	if tag != tag2 || vlen != len(v2) || !bytes.Equal(elem, shards2[4]) {
 		t.Fatalf("server 4 after repair: %v vlen %d", tag, vlen)
 	}
@@ -188,7 +188,7 @@ func TestRepairRestoresCrashedServer(t *testing.T) {
 	// The healed server serves full-strength SODA_err reads: all 5
 	// respond and nothing is corrupt.
 	r := mustReader(t, "r1", codec, lb.Conns(), WithReaderFaults(0), WithReadErrors(1), WithReaderMembership(m))
-	res, err := r.Read(ctx)
+	res, err := r.Read(ctx, testKey)
 	if err != nil {
 		t.Fatalf("Read after repair: %v", err)
 	}
@@ -227,7 +227,7 @@ func TestRepairAlreadyCurrent(t *testing.T) {
 	rp := mustRepairer(t, codec, lb.Conns(), m)
 	w := mustWriter(t, "w1", codec, lb.Conns())
 	v1 := []byte("complete everywhere")
-	tag1, err := w.Write(ctx, v1)
+	tag1, err := w.Write(ctx, testKey, v1)
 	if err != nil {
 		t.Fatalf("Write: %v", err)
 	}
@@ -235,7 +235,7 @@ func TestRepairAlreadyCurrent(t *testing.T) {
 	t2 := Tag{TS: tag1.TS + 1, Writer: "w2"}
 	v2 := []byte("ahead of the pack")
 	shards2, _ := codec.EncodeValue(v2)
-	if err := conns[4].PutData(ctx, t2, shards2[4], len(v2)); err != nil {
+	if err := conns[4].PutData(ctx, testKey, t2, shards2[4], len(v2)); err != nil {
 		t.Fatalf("PutData: %v", err)
 	}
 	m.MarkSuspect(4, errors.New("false alarm"))
@@ -246,7 +246,7 @@ func TestRepairAlreadyCurrent(t *testing.T) {
 	if out != RepairAlreadyCurrent {
 		t.Fatalf("outcome = %v, want already-current", out)
 	}
-	if tag, _, _ := lb.Server(4).Snapshot(); tag != t2 {
+	if tag, _, _ := lb.Server(4).Snapshot(testKey); tag != t2 {
 		t.Fatalf("repair rolled the server back to %v", tag)
 	}
 	if !m.IsLive(4) {
@@ -268,7 +268,7 @@ func TestRepairRacesTornWrite(t *testing.T) {
 	w := mustWriter(t, "w1", codec, lb.Conns())
 
 	v1 := []byte("the last complete version")
-	tag1, err := w.Write(ctx, v1)
+	tag1, err := w.Write(ctx, testKey, v1)
 	if err != nil {
 		t.Fatalf("Write: %v", err)
 	}
@@ -282,7 +282,7 @@ func TestRepairRacesTornWrite(t *testing.T) {
 	v2 := []byte("torn, in flight")
 	shards2, _ := codec.EncodeValue(v2)
 	for _, i := range []int{0, 1} {
-		if err := conns[i].PutData(ctx, t2, shards2[i], len(v2)); err != nil {
+		if err := conns[i].PutData(ctx, testKey, t2, shards2[i], len(v2)); err != nil {
 			t.Fatalf("PutData(%d): %v", i, err)
 		}
 	}
@@ -295,7 +295,7 @@ func TestRepairRacesTornWrite(t *testing.T) {
 		t.Fatalf("outcome = %v", out)
 	}
 	shards1, _ := codec.EncodeValue(v1)
-	tag, elem, _ := lb.Server(8).Snapshot()
+	tag, elem, _ := lb.Server(8).Snapshot(testKey)
 	if tag != tag1 || !bytes.Equal(elem, shards1[8]) {
 		t.Fatalf("repair installed %v, want the complete version %v (torn %v must lose)", tag, tag1, t2)
 	}
@@ -303,12 +303,12 @@ func TestRepairRacesTornWrite(t *testing.T) {
 	// The torn write completes; the healed server takes it like any
 	// other and a read returns it.
 	for i := 2; i < 9; i++ {
-		if err := conns[i].PutData(ctx, t2, shards2[i], len(v2)); err != nil {
+		if err := conns[i].PutData(ctx, testKey, t2, shards2[i], len(v2)); err != nil {
 			t.Fatalf("PutData(%d): %v", i, err)
 		}
 	}
 	r := mustReader(t, "r1", codec, lb.Conns(), WithReaderMembership(m))
-	res, err := r.Read(ctx)
+	res, err := r.Read(ctx, testKey)
 	if err != nil {
 		t.Fatalf("Read: %v", err)
 	}
@@ -325,8 +325,8 @@ type lyingVLenConn struct {
 	codec *Codec
 }
 
-func (c lyingVLenConn) GetElem(ctx context.Context) (Tag, []byte, int, error) {
-	t, elem, vlen, err := c.Conn.GetElem(ctx)
+func (c lyingVLenConn) GetElem(ctx context.Context, key string) (Tag, []byte, int, error) {
+	t, elem, vlen, err := c.Conn.GetElem(ctx, key)
 	if err != nil || t.IsZero() {
 		return t, elem, vlen, err
 	}
@@ -347,7 +347,7 @@ func TestRepairSurvivesVLenLyingDonor(t *testing.T) {
 	// lagging honest donor could leave the liar outnumbering k.
 	w := mustWriter(t, "w1", codec, lb.Conns(), WithWriterFaults(0))
 	v1 := []byte("value the liar misdescribes")
-	tag1, err := w.Write(ctx, v1)
+	tag1, err := w.Write(ctx, testKey, v1)
 	if err != nil {
 		t.Fatalf("Write: %v", err)
 	}
@@ -355,7 +355,7 @@ func TestRepairSurvivesVLenLyingDonor(t *testing.T) {
 	m := NewMembership(5)
 	m.MarkSuspect(4, ErrServerDown)
 	lb.Restart(4)
-	lb.Server(4).Wipe() // the crash took the disk with it
+	lb.Server(4).Wipe(testKey) // the crash took the disk with it
 
 	conns := lb.Conns()
 	conns[3] = lyingVLenConn{Conn: conns[3], codec: codec}
@@ -368,7 +368,7 @@ func TestRepairSurvivesVLenLyingDonor(t *testing.T) {
 		t.Fatalf("outcome = %v", out)
 	}
 	shards1, _ := codec.EncodeValue(v1)
-	tag, elem, vlen := lb.Server(4).Snapshot()
+	tag, elem, vlen := lb.Server(4).Snapshot(testKey)
 	if tag != tag1 || vlen != len(v1) || !bytes.Equal(elem, shards1[4]) {
 		t.Fatalf("server 4 after repair: %v vlen %d (liar won?)", tag, vlen)
 	}
@@ -383,7 +383,7 @@ func TestRepairDetectsCorruptDonor(t *testing.T) {
 	codec, lb := newCluster(t, 9, 3, rs.WithGenerator(rs.GeneratorRSView))
 	w := mustWriter(t, "w1", codec, lb.Conns())
 	v1 := []byte("regenerated despite a rotten donor")
-	tag1, err := w.Write(ctx, v1)
+	tag1, err := w.Write(ctx, testKey, v1)
 	if err != nil {
 		t.Fatalf("Write: %v", err)
 	}
@@ -391,7 +391,7 @@ func TestRepairDetectsCorruptDonor(t *testing.T) {
 	m := NewMembership(9)
 	m.MarkSuspect(8, ErrServerDown)
 	lb.Restart(8)
-	lb.Server(8).Wipe()
+	lb.Server(8).Wipe(testKey)
 	lb.Corrupt(3, FlipByte(0)) // donor 3 rots before it donates
 
 	var events []RepairEvent
@@ -405,15 +405,15 @@ func TestRepairDetectsCorruptDonor(t *testing.T) {
 		t.Fatalf("outcome = %v", out)
 	}
 	shards1, _ := codec.EncodeValue(v1)
-	tag, elem, _ := lb.Server(8).Snapshot()
+	tag, elem, _ := lb.Server(8).Snapshot(testKey)
 	if tag != tag1 || !bytes.Equal(elem, shards1[8]) {
 		t.Fatal("corrupt donor poisoned the regenerated element")
 	}
 	if m.Health(3) == Live {
 		t.Fatal("located corrupt donor was not quarantined")
 	}
-	if len(events) != 1 || !slices.Equal(events[0].Corrupt, []int{3}) {
-		t.Fatalf("events = %+v, want one with Corrupt [3]", events)
+	if len(events) != 1 || events[0].Key != testKey || !slices.Equal(events[0].Corrupt, []int{3}) {
+		t.Fatalf("events = %+v, want one for %q with Corrupt [3]", events, testKey)
 	}
 
 	// The disk swap: clear the rot, repair the donor, whole cluster live.
@@ -436,7 +436,7 @@ func TestRejoinMidReadCompletedByRepairRelay(t *testing.T) {
 	codec, lb := newCluster(t, 5, 3, rs.WithGenerator(rs.GeneratorRSView))
 	conns := lb.Conns()
 	w := mustWriter(t, "w1", codec, conns)
-	tag1, err := w.Write(ctx, []byte("v1"))
+	tag1, err := w.Write(ctx, testKey, []byte("v1"))
 	if err != nil {
 		t.Fatalf("Write: %v", err)
 	}
@@ -447,7 +447,7 @@ func TestRejoinMidReadCompletedByRepairRelay(t *testing.T) {
 	tag2 := tag1.Next("w2")
 	shards2, _ := codec.EncodeValue(v2)
 	for i := 0; i < 4; i++ {
-		if err := conns[i].PutData(ctx, tag2, shards2[i], len(v2)); err != nil {
+		if err := conns[i].PutData(ctx, testKey, tag2, shards2[i], len(v2)); err != nil {
 			t.Fatalf("PutData(%d): %v", i, err)
 		}
 	}
@@ -463,12 +463,12 @@ func TestRejoinMidReadCompletedByRepairRelay(t *testing.T) {
 	}
 	resCh := make(chan outcome, 1)
 	go func() {
-		res, err := r.Read(ctx)
+		res, err := r.Read(ctx, testKey)
 		resCh <- outcome{res, err}
 	}()
 	registerBy := time.Now().Add(30 * time.Second)
 	for i := 0; i < 5; i++ {
-		for lb.Server(i).Readers() == 0 {
+		for lb.Server(i).Readers(testKey) == 0 {
 			select {
 			case o := <-resCh:
 				t.Fatalf("read finished before registering everywhere: %v %v", o.res, o.err)
@@ -507,14 +507,14 @@ type countingConn struct {
 	gets, puts *atomic.Int64
 }
 
-func (c countingConn) GetTag(ctx context.Context) (Tag, error) {
+func (c countingConn) GetTag(ctx context.Context, key string) (Tag, error) {
 	c.gets.Add(1)
-	return c.Conn.GetTag(ctx)
+	return c.Conn.GetTag(ctx, key)
 }
 
-func (c countingConn) PutData(ctx context.Context, t Tag, elem []byte, vlen int) error {
+func (c countingConn) PutData(ctx context.Context, key string, t Tag, elem []byte, vlen int) error {
 	c.puts.Add(1)
-	return c.Conn.PutData(ctx, t, elem, vlen)
+	return c.Conn.PutData(ctx, key, t, elem, vlen)
 }
 
 // TestWriterExcludesQuarantinedServers: a membership-aware writer
@@ -535,7 +535,7 @@ func TestWriterExcludesQuarantinedServers(t *testing.T) {
 	w := mustWriter(t, "w1", codec, conns, WithWriterMembership(m))
 
 	m.MarkSuspect(4, errCorruptElement)
-	if _, err := w.Write(ctx, []byte("around the quarantine")); err != nil {
+	if _, err := w.Write(ctx, testKey, []byte("around the quarantine")); err != nil {
 		t.Fatalf("Write: %v", err)
 	}
 	if gets[4].Load() != 0 || puts[4].Load() != 0 {
@@ -545,7 +545,7 @@ func TestWriterExcludesQuarantinedServers(t *testing.T) {
 	// Readmit: the next write includes it again.
 	m.MarkRepairing(4)
 	m.MarkLive(4)
-	if _, err := w.Write(ctx, []byte("back in the quorum")); err != nil {
+	if _, err := w.Write(ctx, testKey, []byte("back in the quorum")); err != nil {
 		t.Fatalf("Write after readmission: %v", err)
 	}
 	if gets[4].Load() == 0 || puts[4].Load() == 0 {
@@ -555,7 +555,7 @@ func TestWriterExcludesQuarantinedServers(t *testing.T) {
 	// Quarantine past the fault budget (f=1 here) fails fast.
 	m.MarkSuspect(3, errCorruptElement)
 	m.MarkSuspect(4, errCorruptElement)
-	if _, err := w.Write(ctx, []byte("doomed")); !errors.Is(err, ErrUnavailable) {
+	if _, err := w.Write(ctx, testKey, []byte("doomed")); !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("Write with 2 quarantined, f=1: %v, want ErrUnavailable", err)
 	}
 }
@@ -606,7 +606,7 @@ func TestKillRepairRejoinSoak(t *testing.T) {
 				}
 				value := fmt.Sprintf("w%d-%d", wi, j)
 				inv := h.begin()
-				tag, err := w.Write(ctx, []byte(value))
+				tag, err := w.Write(ctx, testKey, []byte(value))
 				if err != nil {
 					t.Errorf("writer %d op %d: %v", wi, j, err)
 					return
@@ -630,7 +630,7 @@ func TestKillRepairRejoinSoak(t *testing.T) {
 				default:
 				}
 				inv := h.begin()
-				res, err := r.Read(ctx)
+				res, err := r.Read(ctx, testKey)
 				if err != nil {
 					t.Errorf("reader %d op %d: %v", ri, j, err)
 					return
@@ -645,7 +645,7 @@ func TestKillRepairRejoinSoak(t *testing.T) {
 		lb.Crash(s)
 		m.MarkSuspect(s, ErrServerDown)
 		time.Sleep(25 * time.Millisecond) // traffic rides through the hole
-		tagDown, _, _ := lb.Server(s).Snapshot()
+		tagDown, _, _ := lb.Server(s).Snapshot(testKey)
 		lb.Restart(s)
 		actx, acancel := context.WithTimeout(ctx, 15*time.Second)
 		err := m.AwaitLive(actx, s)
@@ -654,7 +654,7 @@ func TestKillRepairRejoinSoak(t *testing.T) {
 			t.Fatalf("cycle %d: server %d never repaired: %v (health %v, cause %v)",
 				cyc, s, err, m.Health(s), m.Cause(s))
 		}
-		tagUp, _, _ := lb.Server(s).Snapshot()
+		tagUp, _, _ := lb.Server(s).Snapshot(testKey)
 		if tagUp.Less(tagDown) {
 			t.Fatalf("cycle %d: repair rolled server %d back from %v to %v", cyc, s, tagDown, tagUp)
 		}
@@ -670,12 +670,12 @@ func TestKillRepairRejoinSoak(t *testing.T) {
 	// zero-fault-budget SODA_err read across all nine reports nothing
 	// corrupt — formerly quarantined servers included.
 	for i := 0; i < 9; i++ {
-		if _, err := lb.Conns()[i].GetTag(ctx); err != nil {
+		if _, err := lb.Conns()[i].GetTag(ctx, testKey); err != nil {
 			t.Fatalf("server %d does not serve after the soak: %v", i, err)
 		}
 	}
 	r := mustReader(t, "rz", codec, lb.Conns(), WithReaderFaults(0), WithReadErrors(2))
-	res, err := r.Read(ctx)
+	res, err := r.Read(ctx, testKey)
 	if err != nil {
 		t.Fatalf("final read: %v", err)
 	}

@@ -1,6 +1,9 @@
 package soda
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // Delivery is one (tag, coded element) message from a server to a
 // reader: either the server's current state at registration time
@@ -21,148 +24,368 @@ type Delivery struct {
 // for, because its target tag is the maximum over a quorum of such
 // registration tags.
 type registration struct {
-	treq Tag
-	sink func(Delivery)
+	reader string
+	treq   Tag
+	sink   func(Delivery)
 }
 
-// Server is the SODA server state machine, independent of any
-// transport. It stores exactly one coded element — the one belonging
-// to the highest tag it has seen — plus the registered-reader set,
-// which is the entire per-server cost of the relay-based read
-// protocol. All methods are safe for concurrent use; relay sinks are
-// invoked outside the state lock.
-type Server struct {
-	idx int
-
+// register is one named SODA register on a server: the coded element
+// belonging to the highest tag seen for this key, plus the key's
+// registered-reader set. The per-register mutex keeps unrelated keys
+// off each other's critical sections. The reader set is a small slice,
+// not a map: a key rarely has more than a handful of concurrent
+// readers, every read registers and unregisters on every server, and
+// at that cardinality a linear scan beats two string-map mutations per
+// subscription — the slice's backing array recycles across reads where
+// map buckets would churn.
+type register struct {
 	mu      sync.Mutex
 	tag     Tag
 	elem    []byte
 	vlen    int
-	readers map[string]*registration
+	readers []registration
+}
+
+// serverShardCount stripes the namespace map; must be a power of two.
+const serverShardCount = 16
+
+type serverShard struct {
+	mu   sync.RWMutex
+	regs map[string]*register
+}
+
+// Server is the SODA server state machine, independent of any
+// transport. It stores a namespace of named registers — each exactly
+// one coded element, the one belonging to the highest tag it has seen
+// for that key, plus the key's registered-reader set, which is the
+// entire per-server cost of the relay-based read protocol. The
+// namespace is a sharded key→register map with striped locks and lazy
+// register creation; registers that hold nothing and serve nobody are
+// garbage-collected back out of it. All methods are safe for
+// concurrent use; relay sinks are invoked outside all locks.
+type Server struct {
+	idx     int
+	metrics Metrics
+	shards  [serverShardCount]serverShard
 }
 
 // NewServer returns the state machine for the server holding codeword
 // shard idx.
 func NewServer(idx int) *Server {
-	return &Server{idx: idx, readers: make(map[string]*registration)}
+	s := &Server{idx: idx}
+	for i := range s.shards {
+		s.shards[i].regs = make(map[string]*register)
+	}
+	return s
 }
 
-// Index returns the server's shard index.
+// Index returns the server's shard index in the code geometry.
 func (s *Server) Index() int { return s.idx }
 
-// GetTag answers the writer's first phase: the highest tag stored.
-func (s *Server) GetTag() Tag {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tag
+// Metrics returns the server's live counters (for transports that
+// need to count, e.g. relay-queue drops).
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// MetricsSnapshot returns the counters plus current namespace gauges.
+func (s *Server) MetricsSnapshot() MetricsSnapshot {
+	snap := s.metrics.Snapshot()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		snap.Registers += uint64(len(sh.regs))
+		for _, r := range sh.regs {
+			r.mu.Lock()
+			snap.Registrations += uint64(len(r.readers))
+			r.mu.Unlock()
+		}
+		sh.mu.RUnlock()
+	}
+	return snap
 }
 
-// PutData answers the writer's second phase: store (t, elem) if t is
-// new, and relay it to every registered reader whose registration tag
-// it satisfies — including readers that arrived after a newer write,
-// since a concurrent reader may be collecting exactly this tag. The
-// server takes ownership of elem.
-func (s *Server) PutData(t Tag, elem []byte, vlen int) {
-	s.mu.Lock()
-	if s.tag.Less(t) {
-		s.tag, s.elem, s.vlen = t, elem, vlen
+// shardOf hashes a key onto its stripe (FNV-1a, inlined to keep the
+// lookup allocation-free).
+func (s *Server) shardOf(key string) *serverShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
 	}
+	return &s.shards[h&(serverShardCount-1)]
+}
+
+// lookup returns the key's register, or nil when absent and create is
+// false. Creation is lazy: a key costs nothing until first touched.
+func (s *Server) lookup(key string, create bool) *register {
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	r := sh.regs[key]
+	sh.mu.RUnlock()
+	if r != nil || !create {
+		return r
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if r = sh.regs[key]; r == nil {
+		r = &register{}
+		sh.regs[key] = r
+	}
+	return r
+}
+
+// collect removes the register if it still holds nothing and serves
+// nobody — the namespace GC that keeps touched-but-empty keys from
+// accumulating. Lock order is shard then register, same as every
+// other path.
+func (s *Server) collect(key string) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r := sh.regs[key]
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	dead := r.tag == (Tag{}) && len(r.readers) == 0
+	r.mu.Unlock()
+	if dead {
+		delete(sh.regs, key)
+		s.metrics.registerGCs.Add(1)
+	}
+}
+
+// GetTag answers the writer's first phase: the highest tag stored
+// under key. A never-written key is the zero tag and does not cost a
+// register.
+func (s *Server) GetTag(key string) Tag {
+	s.metrics.getTags.Add(1)
+	r := s.lookup(key, false)
+	if r == nil {
+		return Tag{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tag
+}
+
+// relayLocked collects the sinks a put under tag t must reach. Caller
+// holds r.mu; the returned sinks are invoked after it is released.
+func relayLocked(r *register, t Tag) []func(Delivery) {
 	var sinks []func(Delivery)
-	for _, r := range s.readers {
-		if !t.Less(r.treq) {
-			sinks = append(sinks, r.sink)
+	for i := range r.readers {
+		if !t.Less(r.readers[i].treq) {
+			sinks = append(sinks, r.readers[i].sink)
 		}
 	}
-	s.mu.Unlock()
-	d := Delivery{Server: s.idx, Tag: t, Elem: elem, VLen: vlen}
-	for _, sink := range sinks {
-		sink(d)
+	return sinks
+}
+
+// PutData answers the writer's second phase: store (t, elem) under key
+// if t is new, and relay it to every reader registered on the key
+// whose registration tag it satisfies — including readers that arrived
+// after a newer write, since a concurrent reader may be collecting
+// exactly this tag. The server takes ownership of elem.
+func (s *Server) PutData(key string, t Tag, elem []byte, vlen int) {
+	s.metrics.putDatas.Add(1)
+	r := s.lookup(key, true)
+	r.mu.Lock()
+	if r.tag.Less(t) {
+		r.tag, r.elem, r.vlen = t, elem, vlen
+	}
+	sinks := relayLocked(r, t)
+	r.mu.Unlock()
+	if len(sinks) > 0 {
+		s.metrics.relays.Add(uint64(len(sinks)))
+		d := Delivery{Server: s.idx, Tag: t, Elem: elem, VLen: vlen}
+		for _, sink := range sinks {
+			sink(d)
+		}
 	}
 }
 
-// RepairPut answers the Repairer's install: accept (t, elem, vlen) iff
-// t >= the current tag, reporting whether it was installed. The >= (vs
-// PutData's strict >) is the point of the message: repair may lay down
-// a fresh copy of the element the server already claims to hold,
-// overwriting rotten storage, but it can never roll the server's tag
-// backwards — that invariant is what keeps a previously returned tag's
-// holder count from shrinking, which the reader's f < k atomicity
-// argument depends on. An accepted repair relays to registered readers
-// exactly like a put-data, so a reader that registered while the
-// server was catching up still sees the element it is waiting for. The
-// server takes ownership of elem.
-func (s *Server) RepairPut(t Tag, elem []byte, vlen int) bool {
-	s.mu.Lock()
-	if t.Less(s.tag) {
-		s.mu.Unlock()
+// RepairPut answers the Repairer's install: accept (t, elem, vlen)
+// under key iff t >= the key's current tag, reporting whether it was
+// installed. The >= (vs PutData's strict >) is the point of the
+// message: repair may lay down a fresh copy of the element the server
+// already claims to hold, overwriting rotten storage, but it can never
+// roll the server's tag backwards — that invariant is what keeps a
+// previously returned tag's holder count from shrinking, which the
+// reader's f < k atomicity argument depends on. An accepted repair
+// relays to the key's registered readers exactly like a put-data, so a
+// reader that registered while the server was catching up still sees
+// the element it is waiting for. The server takes ownership of elem.
+func (s *Server) RepairPut(key string, t Tag, elem []byte, vlen int) bool {
+	s.metrics.repairPuts.Add(1)
+	// A zero-tag repair of an absent key installs the state the key
+	// already has; succeed without materializing a register.
+	if t == (Tag{}) && s.lookup(key, false) == nil {
+		s.metrics.repairInstalls.Add(1)
+		return true
+	}
+	r := s.lookup(key, true)
+	r.mu.Lock()
+	if t.Less(r.tag) {
+		r.mu.Unlock()
 		return false
 	}
-	s.tag, s.elem, s.vlen = t, elem, vlen
-	var sinks []func(Delivery)
-	for _, r := range s.readers {
-		if !t.Less(r.treq) {
-			sinks = append(sinks, r.sink)
+	r.tag, r.elem, r.vlen = t, elem, vlen
+	sinks := relayLocked(r, t)
+	r.mu.Unlock()
+	s.metrics.repairInstalls.Add(1)
+	if len(sinks) > 0 {
+		s.metrics.relays.Add(uint64(len(sinks)))
+		d := Delivery{Server: s.idx, Tag: t, Elem: elem, VLen: vlen}
+		for _, sink := range sinks {
+			sink(d)
 		}
-	}
-	s.mu.Unlock()
-	d := Delivery{Server: s.idx, Tag: t, Elem: elem, VLen: vlen}
-	for _, sink := range sinks {
-		sink(d)
 	}
 	return true
 }
 
-// Wipe clears the stored element, modeling a server that restarts
-// after losing its disk: it rejoins with the initial (zero-tag, empty)
-// state and relies on repair to regenerate its coded element.
+// Wipe clears key's stored element, modeling a server that restarts
+// after losing its disk: the key rejoins with the initial (zero-tag,
+// empty) state and relies on repair to regenerate its coded element.
 // Registrations are untouched — fail-stop transports already dropped
-// them at crash time.
-func (s *Server) Wipe() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.tag, s.elem, s.vlen = Tag{}, nil, 0
+// them at crash time — and a register left with neither state nor
+// readers is collected.
+func (s *Server) Wipe(key string) {
+	r := s.lookup(key, false)
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tag, r.elem, r.vlen = Tag{}, nil, 0
+	r.mu.Unlock()
+	s.collect(key)
 }
 
-// Register answers a reader's get-data: record (reader, current tag)
-// in the registration set and return the current state as the initial
-// delivery. The caller (transport) delivers the returned snapshot and
-// every subsequent sink invocation until Unregister.
-func (s *Server) Register(readerID string, sink func(Delivery)) Delivery {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.readers[readerID] = &registration{treq: s.tag, sink: sink}
-	return Delivery{Server: s.idx, Tag: s.tag, Elem: s.elem, VLen: s.vlen, Initial: true}
+// WipeAll clears every key — the whole disk is gone.
+func (s *Server) WipeAll() {
+	for _, key := range s.Keys() {
+		s.Wipe(key)
+	}
 }
 
-// Unregister drops a reader's registration (reader-done, or its
-// connection closing).
-func (s *Server) Unregister(readerID string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.readers, readerID)
+// Keys returns the ascending keys that currently hold a written
+// (nonzero-tag) element — the namespace a Repairer must heal.
+func (s *Server) Keys() []string {
+	var keys []string
+	s.metrics.keyLists.Add(1)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for key, r := range sh.regs {
+			r.mu.Lock()
+			written := r.tag != Tag{}
+			r.mu.Unlock()
+			if written {
+				keys = append(keys, key)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(keys)
+	return keys
 }
 
-// UnregisterAll drops every registration; a crashing server relays to
-// nobody.
+// Register answers a reader's get-data on key: record (reader, current
+// tag) in the key's registration set and return the current state as
+// the initial delivery. The caller (transport) delivers the returned
+// snapshot and every subsequent sink invocation until Unregister.
+func (s *Server) Register(key, readerID string, sink func(Delivery)) Delivery {
+	s.metrics.getDatas.Add(1)
+	r := s.lookup(key, true)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.readers {
+		if r.readers[i].reader == readerID {
+			r.readers[i] = registration{reader: readerID, treq: r.tag, sink: sink}
+			return Delivery{Server: s.idx, Tag: r.tag, Elem: r.elem, VLen: r.vlen, Initial: true}
+		}
+	}
+	r.readers = append(r.readers, registration{reader: readerID, treq: r.tag, sink: sink})
+	return Delivery{Server: s.idx, Tag: r.tag, Elem: r.elem, VLen: r.vlen, Initial: true}
+}
+
+// Unregister drops a reader's registration on key (reader-done, or its
+// connection closing), collecting the register if nothing is left. The
+// collect is attempted only when the register looked dead under its
+// own lock — the common unregister, on a written key, never touches
+// the shard-exclusive lock.
+func (s *Server) Unregister(key, readerID string) {
+	r := s.lookup(key, false)
+	if r == nil {
+		return
+	}
+	had, dead := false, false
+	r.mu.Lock()
+	for i := range r.readers {
+		if r.readers[i].reader == readerID {
+			last := len(r.readers) - 1
+			r.readers[i] = r.readers[last]
+			r.readers[last] = registration{} // drop the sink reference
+			r.readers = r.readers[:last]
+			had = true
+			break
+		}
+	}
+	dead = r.tag == (Tag{}) && len(r.readers) == 0
+	r.mu.Unlock()
+	if had {
+		s.metrics.regGCs.Add(1)
+		if dead {
+			s.collect(key)
+		}
+	}
+}
+
+// UnregisterAll drops every registration on every key; a crashing
+// server relays to nobody.
 func (s *Server) UnregisterAll() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	clear(s.readers)
+	var emptied []string
+	var dropped uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for key, r := range sh.regs {
+			r.mu.Lock()
+			dropped += uint64(len(r.readers))
+			clear(r.readers) // zero the entries so sink references drop
+			r.readers = r.readers[:0]
+			if r.tag == (Tag{}) {
+				emptied = append(emptied, key)
+			}
+			r.mu.Unlock()
+		}
+		sh.mu.RUnlock()
+	}
+	s.metrics.regGCs.Add(dropped)
+	for _, key := range emptied {
+		s.collect(key)
+	}
 }
 
-// Readers returns the number of registered readers (test/metrics
-// visibility).
-func (s *Server) Readers() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.readers)
+// Readers returns the number of readers registered on key
+// (test/metrics visibility).
+func (s *Server) Readers(key string) int {
+	r := s.lookup(key, false)
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.readers)
 }
 
-// Snapshot returns the stored tag, coded element, and value length.
+// Snapshot returns key's stored tag, coded element, and value length.
 // The element is the server's live buffer; callers must not mutate
 // it.
-func (s *Server) Snapshot() (Tag, []byte, int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tag, s.elem, s.vlen
+func (s *Server) Snapshot(key string) (Tag, []byte, int) {
+	r := s.lookup(key, false)
+	if r == nil {
+		return Tag{}, nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tag, r.elem, r.vlen
 }

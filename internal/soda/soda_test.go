@@ -14,6 +14,10 @@ import (
 	"repro/internal/rs"
 )
 
+// testKey is the register every single-key protocol test works on;
+// the namespace tests exercise multi-key behaviour separately.
+const testKey = "test/register"
+
 func testCtx(t *testing.T) context.Context {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -87,14 +91,14 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	r := mustReader(t, "r1", codec, lb.Conns())
 
 	v1 := []byte("SODA stores one coded element per server")
-	tag1, err := w.Write(ctx, v1)
+	tag1, err := w.Write(ctx, testKey, v1)
 	if err != nil {
 		t.Fatalf("Write: %v", err)
 	}
 	if tag1.TS != 1 || tag1.Writer != "w1" {
 		t.Fatalf("first write tag = %v", tag1)
 	}
-	res, err := r.Read(ctx)
+	res, err := r.Read(ctx, testKey)
 	if err != nil {
 		t.Fatalf("Read: %v", err)
 	}
@@ -107,14 +111,14 @@ func TestWriteReadRoundTrip(t *testing.T) {
 
 	// A second write supersedes the first for subsequent reads.
 	v2 := []byte("second version, bigger than the first one was")
-	tag2, err := w.Write(ctx, v2)
+	tag2, err := w.Write(ctx, testKey, v2)
 	if err != nil {
 		t.Fatalf("Write 2: %v", err)
 	}
 	if !tag1.Less(tag2) {
 		t.Fatalf("tags not increasing: %v then %v", tag1, tag2)
 	}
-	if res, err = r.Read(ctx); err != nil || res.Tag != tag2 || !bytes.Equal(res.Value, v2) {
+	if res, err = r.Read(ctx, testKey); err != nil || res.Tag != tag2 || !bytes.Equal(res.Value, v2) {
 		t.Fatalf("Read 2 = %v %q (%v), want %v", res.Tag, res.Value, err, tag2)
 	}
 
@@ -122,16 +126,16 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	// storage bound the paper is named for.
 	shards, _ := codec.EncodeValue(v2)
 	for i := 0; i < 5; i++ {
-		tag, elem, vlen := lb.Server(i).Snapshot()
+		tag, elem, vlen := lb.Server(i).Snapshot(testKey)
 		if tag != tag2 || vlen != len(v2) || !bytes.Equal(elem, shards[i]) {
 			t.Fatalf("server %d snapshot = %v vlen %d", i, tag, vlen)
 		}
 		// Unregistration is asynchronous with Read returning; give the
 		// teardown a moment.
 		deadline := time.Now().Add(2 * time.Second)
-		for lb.Server(i).Readers() != 0 {
+		for lb.Server(i).Readers(testKey) != 0 {
 			if time.Now().After(deadline) {
-				t.Fatalf("server %d still has %d registered readers", i, lb.Server(i).Readers())
+				t.Fatalf("server %d still has %d registered readers", i, lb.Server(i).Readers(testKey))
 			}
 			time.Sleep(time.Millisecond)
 		}
@@ -144,7 +148,7 @@ func TestReadEmptyRegister(t *testing.T) {
 	ctx := testCtx(t)
 	codec, lb := newCluster(t, 5, 3)
 	r := mustReader(t, "r1", codec, lb.Conns())
-	res, err := r.Read(ctx)
+	res, err := r.Read(ctx, testKey)
 	if err != nil {
 		t.Fatalf("Read: %v", err)
 	}
@@ -164,13 +168,13 @@ func TestWriterCrashBetweenPhases(t *testing.T) {
 	w2 := mustWriter(t, "w2", codec, lb.Conns())
 	r := mustReader(t, "r1", codec, lb.Conns())
 
-	phantom, err := w1.NextTag(ctx)
+	phantom, err := w1.NextTag(ctx, testKey)
 	if err != nil {
 		t.Fatalf("NextTag: %v", err)
 	}
 	// w1 crashes here: phantom is never put anywhere.
 
-	res, err := r.Read(ctx)
+	res, err := r.Read(ctx, testKey)
 	if err != nil {
 		t.Fatalf("Read after phantom get-tag: %v", err)
 	}
@@ -179,11 +183,11 @@ func TestWriterCrashBetweenPhases(t *testing.T) {
 	}
 
 	v2 := []byte("a write that actually completes")
-	tag2, err := w2.Write(ctx, v2)
+	tag2, err := w2.Write(ctx, testKey, v2)
 	if err != nil {
 		t.Fatalf("Write: %v", err)
 	}
-	res, err = r.Read(ctx)
+	res, err = r.Read(ctx, testKey)
 	if err != nil {
 		t.Fatalf("Read: %v", err)
 	}
@@ -205,13 +209,13 @@ func TestReadRidesThroughServerFailures(t *testing.T) {
 	t.Run("silent crash before read", func(t *testing.T) {
 		codec, lb := newCluster(t, 5, 3)
 		w := mustWriter(t, "w1", codec, lb.Conns())
-		tag1, err := w.Write(ctx, v1)
+		tag1, err := w.Write(ctx, testKey, v1)
 		if err != nil {
 			t.Fatalf("Write: %v", err)
 		}
 		lb.Hang(2) // crashes: never answers again, connections stay up
 		r := mustReader(t, "r1", codec, lb.Conns())
-		res, err := r.Read(ctx)
+		res, err := r.Read(ctx, testKey)
 		if err != nil {
 			t.Fatalf("Read with a hung server: %v", err)
 		}
@@ -223,27 +227,27 @@ func TestReadRidesThroughServerFailures(t *testing.T) {
 	t.Run("fail-stop crash mid-read", func(t *testing.T) {
 		codec, lb := newCluster(t, 5, 3)
 		w := mustWriter(t, "w1", codec, lb.Conns())
-		tag1, err := w.Write(ctx, v1)
+		tag1, err := w.Write(ctx, testKey, v1)
 		if err != nil {
 			t.Fatalf("Write: %v", err)
 		}
 		// The moment server 2's initial response reaches the reader,
 		// kill server 2: the crash is concurrent with the read, after
 		// the response is on the wire.
-		lb.OnDeliver(func(server int, _ string, d Delivery) {
+		lb.OnDeliver(func(server int, _, _ string, d Delivery) {
 			if server == 2 && d.Initial {
 				lb.Crash(2)
 			}
 		})
 		r := mustReader(t, "r1", codec, lb.Conns())
-		res, err := r.Read(ctx)
+		res, err := r.Read(ctx, testKey)
 		if err != nil {
 			t.Fatalf("Read with a mid-read crash: %v", err)
 		}
 		if res.Tag != tag1 || !bytes.Equal(res.Value, v1) {
 			t.Fatalf("Read = %v %q", res.Tag, res.Value)
 		}
-		if _, err := lb.Conns()[2].GetTag(ctx); err != ErrServerDown {
+		if _, err := lb.Conns()[2].GetTag(ctx, testKey); err != ErrServerDown {
 			t.Fatalf("server 2 should be down, GetTag err = %v", err)
 		}
 	})
@@ -253,7 +257,7 @@ func TestReadRidesThroughServerFailures(t *testing.T) {
 		lb.Crash(0)
 		lb.Crash(1)
 		r := mustReader(t, "r1", codec, lb.Conns()) // f = 1
-		if _, err := r.Read(ctx); err == nil {
+		if _, err := r.Read(ctx, testKey); err == nil {
 			t.Fatal("Read with 2 crashed servers and f=1 succeeded")
 		}
 	})
@@ -271,7 +275,7 @@ func TestRelayCompletesPendingRead(t *testing.T) {
 	conns := lb.Conns()
 	w := mustWriter(t, "w1", codec, lb.Conns())
 	v1 := []byte("version one, fully written")
-	if _, err := w.Write(ctx, v1); err != nil {
+	if _, err := w.Write(ctx, testKey, v1); err != nil {
 		t.Fatalf("Write: %v", err)
 	}
 
@@ -284,7 +288,7 @@ func TestRelayCompletesPendingRead(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, i := range []int{0, 1} {
-		if err := conns[i].PutData(ctx, t2, shards2[i], len(v2)); err != nil {
+		if err := conns[i].PutData(ctx, testKey, t2, shards2[i], len(v2)); err != nil {
 			t.Fatalf("PutData(%d): %v", i, err)
 		}
 	}
@@ -298,14 +302,14 @@ func TestRelayCompletesPendingRead(t *testing.T) {
 	}
 	resCh := make(chan outcome, 1)
 	go func() {
-		res, err := r.Read(ctx)
+		res, err := r.Read(ctx, testKey)
 		resCh <- outcome{res, err}
 	}()
 
 	// Wait until the read is registered everywhere, then prove it is
 	// genuinely pending.
 	for i := 0; i < 5; i++ {
-		for lb.Server(i).Readers() == 0 {
+		for lb.Server(i).Readers(testKey) == 0 {
 			time.Sleep(time.Millisecond)
 		}
 	}
@@ -319,7 +323,7 @@ func TestRelayCompletesPendingRead(t *testing.T) {
 
 	// The write makes progress on one more server; its relay is what
 	// completes the read.
-	if err := conns[2].PutData(ctx, t2, shards2[2], len(v2)); err != nil {
+	if err := conns[2].PutData(ctx, testKey, t2, shards2[2], len(v2)); err != nil {
 		t.Fatalf("PutData(2): %v", err)
 	}
 	o := <-resCh
@@ -344,7 +348,7 @@ func TestPendingReadFailsFastWhenHopeless(t *testing.T) {
 	codec, lb := newCluster(t, 5, 3)
 	conns := lb.Conns()
 	w := mustWriter(t, "w1", codec, lb.Conns())
-	if _, err := w.Write(ctx, []byte("v1")); err != nil {
+	if _, err := w.Write(ctx, testKey, []byte("v1")); err != nil {
 		t.Fatalf("Write: %v", err)
 	}
 	// Pending state: target tag t2 exists on two servers only.
@@ -355,18 +359,18 @@ func TestPendingReadFailsFastWhenHopeless(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, i := range []int{0, 1} {
-		if err := conns[i].PutData(ctx, t2, shards2[i], len(v2)); err != nil {
+		if err := conns[i].PutData(ctx, testKey, t2, shards2[i], len(v2)); err != nil {
 			t.Fatalf("PutData(%d): %v", i, err)
 		}
 	}
 	r := mustReader(t, "r1", codec, lb.Conns())
 	errCh := make(chan error, 1)
 	go func() {
-		_, err := r.Read(ctx)
+		_, err := r.Read(ctx, testKey)
 		errCh <- err
 	}()
 	for i := 0; i < 5; i++ {
-		for lb.Server(i).Readers() == 0 {
+		for lb.Server(i).Readers(testKey) == 0 {
 			time.Sleep(time.Millisecond)
 		}
 	}
@@ -401,7 +405,7 @@ func TestReadNeverGoesBackwards(t *testing.T) {
 	codec, lb := newCluster(t, 9, 3)
 	conns := lb.Conns()
 	w := mustWriter(t, "w1", codec, lb.Conns())
-	if _, err := w.Write(ctx, []byte("old value")); err != nil {
+	if _, err := w.Write(ctx, testKey, []byte("old value")); err != nil {
 		t.Fatalf("Write: %v", err)
 	}
 	// tag2 half-applied: exactly k=3 servers hold it.
@@ -412,14 +416,14 @@ func TestReadNeverGoesBackwards(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, i := range []int{0, 1, 2} {
-		if err := conns[i].PutData(ctx, t2, shards2[i], len(v2)); err != nil {
+		if err := conns[i].PutData(ctx, testKey, t2, shards2[i], len(v2)); err != nil {
 			t.Fatalf("PutData(%d): %v", i, err)
 		}
 	}
 	// R1 adopts the half-applied write (its initials include servers
 	// 0-2, so t* = t2 and the three elements decode).
 	r1 := mustReader(t, "r1", codec, lb.Conns(), WithReaderFaults(2))
-	res1, err := r1.Read(ctx)
+	res1, err := r1.Read(ctx, testKey)
 	if err != nil {
 		t.Fatalf("R1: %v", err)
 	}
@@ -438,7 +442,7 @@ func TestReadNeverGoesBackwards(t *testing.T) {
 	}
 	resCh := make(chan outcome, 1)
 	go func() {
-		res, err := r2.Read(ctx)
+		res, err := r2.Read(ctx, testKey)
 		resCh <- outcome{res, err}
 	}()
 	select {
@@ -451,7 +455,7 @@ func TestReadNeverGoesBackwards(t *testing.T) {
 	}
 	// ...until the write makes progress and the relays complete it.
 	for _, i := range []int{3, 4} {
-		if err := conns[i].PutData(ctx, t2, shards2[i], len(v2)); err != nil {
+		if err := conns[i].PutData(ctx, testKey, t2, shards2[i], len(v2)); err != nil {
 			t.Fatalf("PutData(%d): %v", i, err)
 		}
 	}
@@ -478,13 +482,13 @@ func TestSodaErrReadNamesCorruptServers(t *testing.T) {
 	t.Run("one corrupt server at n=5 k=3", func(t *testing.T) {
 		codec, lb := newCluster(t, 5, 3, rs.WithGenerator(rs.GeneratorRSView))
 		w := mustWriter(t, "w1", codec, lb.Conns())
-		tag1, err := w.Write(ctx, v1)
+		tag1, err := w.Write(ctx, testKey, v1)
 		if err != nil {
 			t.Fatalf("Write: %v", err)
 		}
 		lb.Corrupt(4, FlipByte(1))
 		r := mustReader(t, "r1", codec, lb.Conns(), WithReaderFaults(0), WithReadErrors(1))
-		res, err := r.Read(ctx)
+		res, err := r.Read(ctx, testKey)
 		if err != nil {
 			t.Fatalf("Read: %v", err)
 		}
@@ -497,7 +501,7 @@ func TestSodaErrReadNamesCorruptServers(t *testing.T) {
 
 		// Quarantining the named server lets a plain reader avoid it.
 		q := mustReader(t, "r2", codec, lb.Conns(), WithQuarantine(res.Corrupt...))
-		qres, err := q.Read(ctx)
+		qres, err := q.Read(ctx, testKey)
 		if err != nil {
 			t.Fatalf("quarantined Read: %v", err)
 		}
@@ -509,11 +513,11 @@ func TestSodaErrReadNamesCorruptServers(t *testing.T) {
 	t.Run("no corruption passes Verify", func(t *testing.T) {
 		codec, lb := newCluster(t, 5, 3, rs.WithGenerator(rs.GeneratorRSView))
 		w := mustWriter(t, "w1", codec, lb.Conns())
-		if _, err := w.Write(ctx, v1); err != nil {
+		if _, err := w.Write(ctx, testKey, v1); err != nil {
 			t.Fatalf("Write: %v", err)
 		}
 		r := mustReader(t, "r1", codec, lb.Conns(), WithReaderFaults(0), WithReadErrors(1))
-		res, err := r.Read(ctx)
+		res, err := r.Read(ctx, testKey)
 		if err != nil {
 			t.Fatalf("Read: %v", err)
 		}
@@ -525,7 +529,7 @@ func TestSodaErrReadNamesCorruptServers(t *testing.T) {
 	t.Run("two corrupt plus two crashed at n=9 k=3", func(t *testing.T) {
 		codec, lb := newCluster(t, 9, 3, rs.WithGenerator(rs.GeneratorRSView))
 		w := mustWriter(t, "w1", codec, lb.Conns())
-		tag1, err := w.Write(ctx, v1)
+		tag1, err := w.Write(ctx, testKey, v1)
 		if err != nil {
 			t.Fatalf("Write: %v", err)
 		}
@@ -536,7 +540,7 @@ func TestSodaErrReadNamesCorruptServers(t *testing.T) {
 		// n-f = 7 = k+2e responses: erasures 2, errors 2, radius
 		// 2*2+2 = 6 = n-k. Exactly at the decoding bound.
 		r := mustReader(t, "r1", codec, lb.Conns(), WithReaderFaults(2), WithReadErrors(2))
-		res, err := r.Read(ctx)
+		res, err := r.Read(ctx, testKey)
 		if err != nil {
 			t.Fatalf("Read: %v", err)
 		}
@@ -572,7 +576,7 @@ func TestSharedWriterConcurrentWrites(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for j := 0; j < each; j++ {
-				tag, err := w.Write(ctx, []byte(fmt.Sprintf("g%d-%d", g, j)))
+				tag, err := w.Write(ctx, testKey, []byte(fmt.Sprintf("g%d-%d", g, j)))
 				if err != nil {
 					t.Errorf("Write: %v", err)
 					return
@@ -594,7 +598,7 @@ func TestSharedWriterConcurrentWrites(t *testing.T) {
 		t.Fatalf("%d distinct tags, want %d", len(seen), goroutines*each)
 	}
 	r := mustReader(t, "r1", codec, lb.Conns())
-	if _, err := r.Read(ctx); err != nil {
+	if _, err := r.Read(ctx, testKey); err != nil {
 		t.Fatalf("Read after concurrent writes: %v", err)
 	}
 }
@@ -613,12 +617,7 @@ func TestReadSurvivesVLenLie(t *testing.T) {
 	}
 	t1 := Tag{TS: 1, Writer: "w1"}
 
-	st := &readState{
-		r:        r,
-		initials: make(map[int]Tag),
-		tags:     make(map[version]*tagState),
-		done:     make(chan struct{}),
-	}
+	st := r.getState()
 	// The liar answers first: right tag, absurd vlen, element sized to
 	// match the lie so it cannot be dismissed as malformed.
 	lieVLen := 999

@@ -9,11 +9,22 @@ import (
 	"time"
 )
 
-// TCP transport: one NetServer wraps a Server state machine behind a
-// listener, and tcpConn implements the client Conn over per-operation
-// connections. get-tag and put-data are single request/response
-// exchanges; get-data turns its connection into a one-way delivery
-// stream that lives until the reader is done.
+// TCP transport, server side plus the dial-per-op client.
+//
+// The server speaks the multiplexed wire protocol: one connection
+// carries any number of concurrent request/response exchanges routed
+// by request id, and any number of key-scoped relay streams (get-data
+// registrations), each identified by the request id that opened it.
+// All outbound frames for a connection funnel through one connWriter
+// goroutine with a bounded queue: responses and relay deliveries are
+// batched into a single flush whenever the queue has more than one
+// frame waiting, which is what makes relay fan-out cheap under load.
+//
+// Two client transports implement Conn over this server: MuxConn
+// (mux.go) — one persistent pipelined connection, the fast path — and
+// tcpConn below, which dials per operation. The dialing client is kept
+// deliberately: it is the "before" in the transport benchmark and a
+// conservative fallback.
 
 // NetServer serves one SODA server over TCP with the wire.go framing.
 type NetServer struct {
@@ -41,6 +52,15 @@ func ListenAndServe(core *Server, addr string) (*NetServer, error) {
 
 // Addr returns the listener's address, for building client conns.
 func (ns *NetServer) Addr() string { return ns.ln.Addr().String() }
+
+// NumConns returns the number of client connections currently open —
+// how tests prove the mux transport really multiplexes instead of
+// dialing.
+func (ns *NetServer) NumConns() int {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return len(ns.conns)
+}
 
 // Close stops the listener, disconnects every client (unregistering
 // their readers), and waits for the handlers to finish. The state
@@ -78,26 +98,50 @@ func (ns *NetServer) acceptLoop() {
 	}
 }
 
+// outQueueDepth bounds how many undelivered outbound frames one
+// connection may queue. Unary responses block the connection's read
+// loop when it fills (backpressure on that client's own pipelining);
+// relay deliveries never block — overflow means the reader is not
+// draining, and the stream's whole connection is killed rather than
+// stalling the put-data path that triggered the relay.
+const outQueueDepth = 4096
+
+// streamSub is one live get-data registration on a connection, keyed
+// by the request id that opened it.
+type streamSub struct {
+	key string
+	rid string
+}
+
 func (ns *NetServer) handle(conn net.Conn) {
 	defer ns.wg.Done()
+	w := newConnWriter(conn, outQueueDepth)
+	ns.wg.Add(1)
+	go func() {
+		defer ns.wg.Done()
+		w.run()
+	}()
+
+	subs := make(map[uint64]streamSub)
 	defer func() {
+		for _, sub := range subs {
+			ns.core.Unregister(sub.key, sub.rid)
+		}
+		w.shutdown() // drains queued frames, then closes conn
 		ns.mu.Lock()
 		delete(ns.conns, conn)
 		ns.mu.Unlock()
-		conn.Close()
 	}()
 
-	var (
-		rid        string
-		registered bool
-		sink       *relaySink
-	)
-	defer func() {
-		if registered {
-			ns.core.Unregister(rid)
-			sink.close()
-		}
-	}()
+	// reject answers a malformed-but-framed request with an explicit
+	// error and keeps the connection alive: the framing is still in
+	// sync, so one bad request must not kill the other exchanges
+	// multiplexed on this connection.
+	reject := func(req uint64, msg string) bool {
+		bp := getFrame()
+		*bp = appendError(*bp, req, msg)
+		return w.send(bp)
+	}
 
 	br := bufio.NewReader(conn)
 	var buf []byte
@@ -107,205 +151,331 @@ func (ns *NetServer) handle(conn net.Conn) {
 			return
 		}
 		buf = payload
-		switch payload[0] {
+		typ, req, ok := peekHeader(payload)
+		if !ok {
+			// Not even a header: connection-level error, then close —
+			// there is no request id to answer on.
+			bp := getFrame()
+			*bp = appendError(*bp, 0, fmt.Sprintf("short frame: %d bytes", len(payload)))
+			w.send(bp)
+			return
+		}
+		switch typ {
 		case msgGetTag:
-			if registered {
-				return // the pump owns the write side; just close
+			_, key, err := decodeGetTag(payload)
+			if err != nil {
+				if !reject(req, "malformed get-tag: "+err.Error()) {
+					return
+				}
+				continue
 			}
-			if writeFrame(conn, encodeTagResp(ns.core.GetTag())) != nil {
+			bp := getFrame()
+			*bp = appendTagResp(*bp, req, ns.core.GetTag(key))
+			if !w.send(bp) {
 				return
 			}
 		case msgPutData:
-			if registered {
-				return
-			}
-			t, elem, vlen, err := decodePutData(payload)
+			_, key, t, elem, vlen, err := decodePutData(payload)
 			if err != nil {
-				ns.fail(conn, "malformed put-data: "+err.Error())
-				return
+				if !reject(req, "malformed put-data: "+err.Error()) {
+					return
+				}
+				continue
 			}
-			ns.core.PutData(t, elem, vlen)
-			if writeFrame(conn, encodeAck()) != nil {
+			ns.core.PutData(key, t, elem, vlen)
+			bp := getFrame()
+			*bp = appendAck(*bp, req)
+			if !w.send(bp) {
 				return
 			}
 		case msgGetElem:
-			if registered {
-				return
+			_, key, err := decodeGetElem(payload)
+			if err != nil {
+				if !reject(req, "malformed get-elem: "+err.Error()) {
+					return
+				}
+				continue
 			}
-			t, elem, vlen := ns.core.Snapshot()
-			if writeFrame(conn, encodeElemResp(t, elem, vlen)) != nil {
+			t, elem, vlen := ns.core.Snapshot(key)
+			ns.core.Metrics().getElems.Add(1)
+			bp := getFrame()
+			*bp = appendElemResp(*bp, req, t, elem, vlen)
+			if !w.send(bp) {
 				return
 			}
 		case msgRepairPut:
-			if registered {
-				return
-			}
-			t, elem, vlen, err := decodeRepairPut(payload)
+			_, key, t, elem, vlen, err := decodeRepairPut(payload)
 			if err != nil {
-				ns.fail(conn, "malformed repair-put: "+err.Error())
+				if !reject(req, "malformed repair-put: "+err.Error()) {
+					return
+				}
+				continue
+			}
+			accepted := ns.core.RepairPut(key, t, elem, vlen)
+			bp := getFrame()
+			*bp = appendRepairResp(*bp, req, accepted)
+			if !w.send(bp) {
 				return
 			}
-			accepted := ns.core.RepairPut(t, elem, vlen)
-			if writeFrame(conn, encodeRepairResp(accepted)) != nil {
+		case msgKeys:
+			if _, err := decodeKeysReq(payload); err != nil {
+				if !reject(req, "malformed keys: "+err.Error()) {
+					return
+				}
+				continue
+			}
+			bp := getFrame()
+			*bp = appendKeysResp(*bp, req, ns.core.Keys())
+			if !w.send(bp) {
 				return
 			}
 		case msgGetData:
-			if registered {
-				return
-			}
-			r, err := decodeGetData(payload)
+			_, key, rid, err := decodeGetData(payload)
 			if err != nil {
-				ns.fail(conn, "malformed get-data: "+err.Error())
-				return
+				if !reject(req, "malformed get-data: "+err.Error()) {
+					return
+				}
+				continue
 			}
-			rid, registered = r, true
-			// After registration this connection is a one-way
-			// delivery stream owned by the pump goroutine; the read
-			// loop continues only to observe reader-done or EOF.
-			sink = newRelaySink(relayQueueDepth)
-			initial := ns.core.Register(rid, sink.send)
-			sink.send(initial)
-			ns.wg.Add(1)
-			go ns.pump(conn, sink)
+			if _, dup := subs[req]; dup {
+				if !reject(req, "get-data request id already streaming") {
+					return
+				}
+				continue
+			}
+			subs[req] = streamSub{key: key, rid: rid}
+			// The relay sink runs on whichever goroutine performs a
+			// put-data; it must never block on this connection, so it
+			// try-sends and kills the connection on overflow — a reader
+			// that stopped draining is indistinguishable from dead.
+			streamReq := req
+			sink := func(d Delivery) {
+				bp := getFrame()
+				*bp = appendData(*bp, streamReq, d)
+				if !w.trySend(bp) {
+					ns.core.Metrics().relayDrops.Add(1)
+					w.kill()
+				}
+			}
+			initial := ns.core.Register(key, rid, sink)
+			sink(initial)
 		case msgReaderDone:
-			return // deferred unregister + close
+			if _, err := decodeReaderDone(payload); err != nil {
+				if !reject(req, "malformed reader-done: "+err.Error()) {
+					return
+				}
+				continue
+			}
+			// A reader-done for an unknown request id (a stream this
+			// server never saw, or one already torn down) is ignored:
+			// tear-down is idempotent.
+			if sub, ok := subs[req]; ok {
+				ns.core.Unregister(sub.key, sub.rid)
+				delete(subs, req)
+			}
 		default:
 			// A type byte from a future protocol version (or garbage):
 			// tell the peer explicitly instead of a silent close, so a
 			// version-skewed client degrades into a legible
-			// *RemoteError rather than a mystery EOF.
-			if registered {
-				return // the pump owns the write side; just close
+			// *RemoteError rather than a mystery EOF. The framing is
+			// still in sync, so the connection survives.
+			if !reject(req, fmt.Sprintf("unknown message type %#x", typ)) {
+				return
 			}
-			ns.fail(conn, fmt.Sprintf("unknown message type %#x", payload[0]))
-			return
 		}
 	}
 }
 
-// fail sends a best-effort explicit error frame before the handler
-// drops the connection. The write gets a short deadline of its own: a
-// peer that stopped reading must not pin the handler.
-func (ns *NetServer) fail(conn net.Conn, msg string) {
-	conn.SetWriteDeadline(time.Now().Add(time.Second))
-	writeFrame(conn, encodeError(msg))
+// connWriter owns a connection's write side: every outbound frame —
+// unary responses, relay deliveries, error frames — is queued here and
+// written by one goroutine through a bufio.Writer that is flushed only
+// when the queue goes momentarily empty. Back-to-back relays and
+// pipelined responses therefore coalesce into one syscall.
+type connWriter struct {
+	conn    net.Conn
+	ch      chan *[]byte
+	done    chan struct{} // closed by shutdown: stop accepting, drain, exit
+	stopped sync.Once
+	flushes int // run-loop only; exposed for the batching test
 }
 
-// pump drains a registered reader's delivery queue onto its
-// connection. It closes the connection when the queue dies — either
-// the handler is done with it or the reader was too slow and the
-// queue overflowed — so the reader observes the end of the stream.
-func (ns *NetServer) pump(conn net.Conn, sink *relaySink) {
-	defer ns.wg.Done()
-	for d := range sink.ch {
-		if err := writeFrame(conn, encodeData(d)); err != nil {
-			break
-		}
+func newConnWriter(conn net.Conn, depth int) *connWriter {
+	return &connWriter{conn: conn, ch: make(chan *[]byte, depth), done: make(chan struct{})}
+}
+
+// send queues a frame, blocking while the queue is full. It reports
+// false when the writer has shut down (the frame is recycled).
+func (w *connWriter) send(bp *[]byte) bool {
+	select {
+	case w.ch <- bp:
+		return true
+	case <-w.done:
+		putFrame(bp)
+		return false
 	}
-	conn.Close()
 }
 
-// relayQueueDepth bounds how many undelivered relays a reader may
-// have in flight before the server declares it dead. Relays are one
-// per concurrent put-data, so depth is write concurrency, not data
-// volume.
-const relayQueueDepth = 1024
-
-// relaySink adapts the Server's synchronous relay callback to a
-// non-blocking bounded queue: a put-data must never block on a slow
-// reader connection.
-type relaySink struct {
-	mu     sync.Mutex
-	ch     chan Delivery
-	closed bool
-}
-
-func newRelaySink(depth int) *relaySink {
-	return &relaySink{ch: make(chan Delivery, depth)}
-}
-
-func (s *relaySink) send(d Delivery) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return
+// trySend queues a frame without blocking; false means the queue is
+// full or the writer is gone.
+func (w *connWriter) trySend(bp *[]byte) bool {
+	select {
+	case <-w.done:
+		putFrame(bp)
+		return false
+	default:
 	}
 	select {
-	case s.ch <- d:
+	case w.ch <- bp:
+		return true
 	default:
-		// Overflow: the reader is not draining. Kill the stream
-		// rather than block the server's put-data path.
-		s.closed = true
-		close(s.ch)
+		putFrame(bp)
+		return false
 	}
 }
 
-func (s *relaySink) close() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.closed {
-		s.closed = true
-		close(s.ch)
+// shutdown stops the writer: queued frames are still drained and
+// flushed (a reader-done race must not eat the last responses), then
+// the connection closes.
+func (w *connWriter) shutdown() {
+	w.stopped.Do(func() { close(w.done) })
+}
+
+// kill abandons the connection immediately — the relay-overflow path.
+// Closing the conn fails the read loop, whose teardown runs shutdown.
+func (w *connWriter) kill() {
+	w.conn.Close()
+}
+
+// run is the writer goroutine: drain, write, and flush exactly when
+// the queue goes empty — the per-connection batching.
+func (w *connWriter) run() {
+	bw := bufio.NewWriter(w.conn)
+	failed := false
+	emit := func(bp *[]byte) {
+		if !failed && writeFrame(bw, *bp) != nil {
+			failed = true
+			w.conn.Close() // fail the read loop too
+		}
+		putFrame(bp)
+	}
+	flush := func() {
+		if !failed && bw.Flush() != nil {
+			failed = true
+			w.conn.Close()
+		}
+		w.flushes++
+	}
+	for {
+		select {
+		case bp := <-w.ch:
+			emit(bp)
+		default:
+			// Queue momentarily empty: the batch is as big as it is
+			// going to get, push it to the wire.
+			if bw.Buffered() > 0 {
+				flush()
+			}
+			select {
+			case bp := <-w.ch:
+				emit(bp)
+			case <-w.done:
+				// Drain what racing senders managed to queue, then go.
+				for {
+					select {
+					case bp := <-w.ch:
+						emit(bp)
+					default:
+						if bw.Buffered() > 0 {
+							flush()
+						}
+						w.conn.Close()
+						return
+					}
+				}
+			}
+		}
 	}
 }
 
-// tcpConn is the client-side Conn for one server address.
-type tcpConn struct {
-	idx          int
-	addr         string
-	dialTimeout  time.Duration
-	dialAttempts int
-	backoff      Backoff
+// dialPolicy is the shared dial behavior of both TCP client
+// transports: a per-attempt deadline — a dial that has not completed
+// in timeout is as dead as a refused one; without the cap, a
+// blackholed server would pin a quorum goroutine until the caller's
+// whole context expired — and bounded retry with backoff so a server
+// mid-restart is not instantly written off.
+type dialPolicy struct {
+	timeout  time.Duration
+	attempts int
+	backoff  Backoff
 }
 
-// Dial policy defaults: a dial that has not completed in dialTimeout
-// is as dead as a refused one — without the cap, a blackholed server
-// would pin a quorum goroutine until the caller's whole context
-// expired — and refused dials are retried a few times with backoff so
-// a server mid-restart is not instantly written off.
 const (
 	defaultDialTimeout  = 2 * time.Second
 	defaultDialAttempts = 3
 )
 
-// TCPOption configures a client-side TCP conn.
-type TCPOption func(*tcpConn)
+func defaultDialPolicy() dialPolicy {
+	return dialPolicy{timeout: defaultDialTimeout, attempts: defaultDialAttempts}
+}
+
+// dial connects with the per-attempt deadline and bounded retry. The
+// context always wins: cancellation aborts both an in-flight dial
+// (DialContext honors it) and any backoff sleep, so a hung dial can
+// never stall a quorum past its caller's cancellation.
+func (p dialPolicy) dial(ctx context.Context, addr string) (net.Conn, error) {
+	d := net.Dialer{Timeout: p.timeout}
+	var conn net.Conn
+	err := retry(ctx, p.attempts, p.backoff, func() error {
+		var err error
+		conn, err = d.DialContext(ctx, "tcp", addr)
+		return err
+	})
+	return conn, err
+}
+
+// TCPOption configures a client-side TCP conn (dialing or mux).
+type TCPOption func(*dialPolicy)
 
 // WithDialTimeout caps each dial attempt; the effective deadline is
 // the earlier of this and the operation context's.
 func WithDialTimeout(d time.Duration) TCPOption {
-	return func(c *tcpConn) { c.dialTimeout = d }
+	return func(p *dialPolicy) { p.timeout = d }
 }
 
 // WithDialRetry sets how many times an operation attempts the dial
 // (minimum 1) and the backoff schedule between attempts.
 func WithDialRetry(attempts int, b Backoff) TCPOption {
-	return func(c *tcpConn) {
+	return func(p *dialPolicy) {
 		if attempts < 1 {
 			attempts = 1
 		}
-		c.dialAttempts = attempts
-		c.backoff = b
+		p.attempts = attempts
+		p.backoff = b
 	}
+}
+
+// tcpConn is the dial-per-operation client Conn for one server
+// address. Every operation opens a fresh connection and uses request
+// id 1 on it. MuxConn is the production path; this one survives as
+// the benchmark baseline and a zero-shared-state fallback.
+type tcpConn struct {
+	idx    int
+	addr   string
+	policy dialPolicy
 }
 
 // TCPConn returns a Conn that dials addr for each operation, acting
 // for the server at shard index idx.
 func TCPConn(idx int, addr string, opts ...TCPOption) Conn {
-	c := &tcpConn{
-		idx:          idx,
-		addr:         addr,
-		dialTimeout:  defaultDialTimeout,
-		dialAttempts: defaultDialAttempts,
-	}
+	c := &tcpConn{idx: idx, addr: addr, policy: defaultDialPolicy()}
 	for _, opt := range opts {
-		opt(c)
+		opt(&c.policy)
 	}
 	return c
 }
 
-// TCPConns builds the conn set for a cluster from its address list,
-// in shard-index order.
+// TCPConns builds the dial-per-op conn set for a cluster from its
+// address list, in shard-index order.
 func TCPConns(addrs []string, opts ...TCPOption) []Conn {
 	conns := make([]Conn, len(addrs))
 	for i, a := range addrs {
@@ -316,24 +486,14 @@ func TCPConns(addrs []string, opts ...TCPOption) []Conn {
 
 func (c *tcpConn) Index() int { return c.idx }
 
-// dial connects with the per-attempt deadline and bounded retry. The
-// context always wins: cancellation aborts both an in-flight dial
-// (DialContext honors it) and any backoff sleep, so a hung dial can
-// never stall a quorum past its caller's cancellation.
-func (c *tcpConn) dial(ctx context.Context) (net.Conn, error) {
-	d := net.Dialer{Timeout: c.dialTimeout}
-	var conn net.Conn
-	err := retry(ctx, c.dialAttempts, c.backoff, func() error {
-		var err error
-		conn, err = d.DialContext(ctx, "tcp", c.addr)
-		return err
-	})
-	return conn, err
-}
+// dialReq is the request id a dial-per-op exchange uses: the
+// connection carries exactly one.
+const dialReq uint64 = 1
 
-// unary performs one request/response exchange.
+// unary performs one request/response exchange on a fresh connection,
+// verifying the response echoes the request id.
 func (c *tcpConn) unary(ctx context.Context, req []byte) ([]byte, error) {
-	conn, err := c.dial(ctx)
+	conn, err := c.policy.dial(ctx, c.addr)
 	if err != nil {
 		return nil, err
 	}
@@ -353,40 +513,92 @@ func (c *tcpConn) unary(ctx context.Context, req []byte) ([]byte, error) {
 	return payload, err
 }
 
-func (c *tcpConn) GetTag(ctx context.Context) (Tag, error) {
-	payload, err := c.unary(ctx, encodeGetTag())
+// checkReq verifies a unary response was for our exchange. On a
+// one-request connection any other id means the server is broken.
+func checkReq(req uint64, name string) error {
+	if req != dialReq {
+		return &FrameError{Want: name, Msg: fmt.Sprintf("response for request %d, want %d", req, dialReq)}
+	}
+	return nil
+}
+
+func (c *tcpConn) GetTag(ctx context.Context, key string) (Tag, error) {
+	bp := getFrame()
+	*bp = appendGetTag(*bp, dialReq, key)
+	payload, err := c.unary(ctx, *bp)
+	putFrame(bp)
 	if err != nil {
 		return Tag{}, err
 	}
-	return decodeTagResp(payload)
+	req, t, err := decodeTagResp(payload)
+	if err != nil {
+		return Tag{}, err
+	}
+	return t, checkReq(req, "tag-resp")
 }
 
-func (c *tcpConn) PutData(ctx context.Context, t Tag, elem []byte, vlen int) error {
-	payload, err := c.unary(ctx, encodePutData(t, elem, vlen))
+func (c *tcpConn) PutData(ctx context.Context, key string, t Tag, elem []byte, vlen int) error {
+	bp := getFrame()
+	*bp = appendPutData(*bp, dialReq, key, t, elem, vlen)
+	payload, err := c.unary(ctx, *bp)
+	putFrame(bp)
 	if err != nil {
 		return err
 	}
-	return decodeAck(payload)
+	req, err := decodeAck(payload)
+	if err != nil {
+		return err
+	}
+	return checkReq(req, "ack")
 }
 
-func (c *tcpConn) GetElem(ctx context.Context) (Tag, []byte, int, error) {
-	payload, err := c.unary(ctx, encodeGetElem())
+func (c *tcpConn) GetElem(ctx context.Context, key string) (Tag, []byte, int, error) {
+	bp := getFrame()
+	*bp = appendGetElem(*bp, dialReq, key)
+	payload, err := c.unary(ctx, *bp)
+	putFrame(bp)
 	if err != nil {
 		return Tag{}, nil, 0, err
 	}
-	return decodeElemResp(payload)
+	req, t, elem, vlen, err := decodeElemResp(payload)
+	if err != nil {
+		return Tag{}, nil, 0, err
+	}
+	return t, elem, vlen, checkReq(req, "elem-resp")
 }
 
-func (c *tcpConn) RepairPut(ctx context.Context, t Tag, elem []byte, vlen int) (bool, error) {
-	payload, err := c.unary(ctx, encodeRepairPut(t, elem, vlen))
+func (c *tcpConn) RepairPut(ctx context.Context, key string, t Tag, elem []byte, vlen int) (bool, error) {
+	bp := getFrame()
+	*bp = appendRepairPut(*bp, dialReq, key, t, elem, vlen)
+	payload, err := c.unary(ctx, *bp)
+	putFrame(bp)
 	if err != nil {
 		return false, err
 	}
-	return decodeRepairResp(payload)
+	req, accepted, err := decodeRepairResp(payload)
+	if err != nil {
+		return false, err
+	}
+	return accepted, checkReq(req, "repair-resp")
 }
 
-func (c *tcpConn) GetData(ctx context.Context, readerID string, deliver func(Delivery)) error {
-	conn, err := c.dial(ctx)
+func (c *tcpConn) Keys(ctx context.Context) ([]string, error) {
+	bp := getFrame()
+	*bp = appendKeysReq(*bp, dialReq)
+	payload, err := c.unary(ctx, *bp)
+	putFrame(bp)
+	if err != nil {
+		return nil, err
+	}
+	req, keys, err := decodeKeysResp(payload)
+	if err != nil {
+		return nil, err
+	}
+	return keys, checkReq(req, "keys-resp")
+}
+
+func (c *tcpConn) GetData(ctx context.Context, key, readerID string, deliver func(Delivery)) error {
+	conn, err := c.policy.dial(ctx, c.addr)
 	if err != nil {
 		return err
 	}
@@ -400,14 +612,20 @@ func (c *tcpConn) GetData(ctx context.Context, readerID string, deliver func(Del
 	stop := context.AfterFunc(ctx, func() {
 		wmu.Lock()
 		conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
-		writeFrame(conn, encodeReaderDone())
+		bp := getFrame()
+		*bp = appendReaderDone(*bp, dialReq)
+		writeFrame(conn, *bp)
+		putFrame(bp)
 		wmu.Unlock()
 		conn.Close()
 	})
 	defer stop()
+	bp := getFrame()
+	*bp = appendGetData(*bp, dialReq, key, readerID)
 	wmu.Lock()
-	err = writeFrame(conn, encodeGetData(readerID))
+	err = writeFrame(conn, *bp)
 	wmu.Unlock()
+	putFrame(bp)
 	if err != nil {
 		return err
 	}
@@ -422,7 +640,7 @@ func (c *tcpConn) GetData(ctx context.Context, readerID string, deliver func(Del
 			return err
 		}
 		buf = payload // reuse: decodeData copies the element out
-		d, err := decodeData(payload)
+		_, d, err := decodeData(payload)
 		if err != nil {
 			return err
 		}

@@ -10,8 +10,14 @@ import (
 )
 
 // startTCPCluster brings up n NetServers on ephemeral localhost ports
-// and returns their conns.
+// and returns their dial-per-op conns.
 func startTCPCluster(t *testing.T, n int) ([]Conn, []*NetServer) {
+	t.Helper()
+	addrs, servers := startTCPServers(t, n)
+	return TCPConns(addrs), servers
+}
+
+func startTCPServers(t *testing.T, n int) ([]string, []*NetServer) {
 	t.Helper()
 	addrs := make([]string, n)
 	servers := make([]*NetServer, n)
@@ -24,7 +30,7 @@ func startTCPCluster(t *testing.T, n int) ([]Conn, []*NetServer) {
 		servers[i] = ns
 		addrs[i] = ns.Addr()
 	}
-	return TCPConns(addrs), servers
+	return addrs, servers
 }
 
 // TestTCPEndToEnd runs the protocol over real localhost TCP: a write,
@@ -41,11 +47,11 @@ func TestTCPEndToEnd(t *testing.T) {
 	r := mustReader(t, "r1", codec, conns)
 
 	v1 := []byte("over the wire this time")
-	tag1, err := w.Write(ctx, v1)
+	tag1, err := w.Write(ctx, testKey, v1)
 	if err != nil {
 		t.Fatalf("Write: %v", err)
 	}
-	res, err := r.Read(ctx)
+	res, err := r.Read(ctx, testKey)
 	if err != nil {
 		t.Fatalf("Read: %v", err)
 	}
@@ -56,11 +62,11 @@ func TestTCPEndToEnd(t *testing.T) {
 	// Crash server 0: connections are refused from here on.
 	servers[0].Close()
 	v2 := []byte("written around the crashed server")
-	tag2, err := w.Write(ctx, v2)
+	tag2, err := w.Write(ctx, testKey, v2)
 	if err != nil {
 		t.Fatalf("Write after crash: %v", err)
 	}
-	res, err = r.Read(ctx)
+	res, err = r.Read(ctx, testKey)
 	if err != nil {
 		t.Fatalf("Read after crash: %v", err)
 	}
@@ -71,7 +77,8 @@ func TestTCPEndToEnd(t *testing.T) {
 
 // TestTCPRelayStream pins the streaming half of the TCP transport: a
 // standing get-data subscription receives the initial snapshot and
-// then one relayed delivery per put that lands on the server.
+// then one relayed delivery per put that lands on the server, scoped
+// to the subscribed key only.
 func TestTCPRelayStream(t *testing.T) {
 	ctx := testCtx(t)
 	codec, err := NewCodec(5, 3)
@@ -81,7 +88,7 @@ func TestTCPRelayStream(t *testing.T) {
 	conns, _ := startTCPCluster(t, 5)
 	w := mustWriter(t, "w1", codec, conns)
 	v1 := []byte("subscription smoke value")
-	tag1, err := w.Write(ctx, v1)
+	tag1, err := w.Write(ctx, testKey, v1)
 	if err != nil {
 		t.Fatalf("Write: %v", err)
 	}
@@ -92,15 +99,20 @@ func TestTCPRelayStream(t *testing.T) {
 	got := make(chan Delivery, 16)
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- conns[2].GetData(subCtx, "sub#1", func(d Delivery) { got <- d })
+		errCh <- conns[2].GetData(subCtx, testKey, "sub#1", func(d Delivery) { got <- d })
 	}()
 	first := <-got
 	if !first.Initial || first.Tag != tag1 || first.Server != 2 {
 		t.Fatalf("initial delivery = %+v", first)
 	}
 
+	// A write to a different key must not reach this stream.
+	if _, err := w.Write(ctx, testKey+"/other", []byte("different register")); err != nil {
+		t.Fatalf("Write other key: %v", err)
+	}
+
 	v2 := []byte("relayed while subscribed")
-	tag2, err := w.Write(ctx, v2)
+	tag2, err := w.Write(ctx, testKey, v2)
 	if err != nil {
 		t.Fatalf("Write 2: %v", err)
 	}
@@ -108,7 +120,7 @@ func TestTCPRelayStream(t *testing.T) {
 	select {
 	case d := <-got:
 		if d.Initial || d.Tag != tag2 || !bytes.Equal(d.Elem, shards2[2]) || d.VLen != len(v2) {
-			t.Fatalf("relayed delivery = %+v", d)
+			t.Fatalf("relayed delivery = %+v (cross-key leak?)", d)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("no relayed delivery arrived")
@@ -123,74 +135,94 @@ func TestTCPRelayStream(t *testing.T) {
 }
 
 // TestTCPRepairRPCs exercises the repair wire messages end to end over
-// real TCP: element collection returns what the server holds, and the
-// repair install enforces the tag floor remotely exactly as it does
-// in-process.
+// real TCP: element collection returns what the server holds, key
+// enumeration lists written keys, and the repair install enforces the
+// tag floor remotely exactly as it does in-process.
 func TestTCPRepairRPCs(t *testing.T) {
 	ctx := testCtx(t)
 	conns, servers := startTCPCluster(t, 1)
 	c := conns[0]
 
-	// Empty register: zero tag, no element.
-	tag, elem, vlen, err := c.GetElem(ctx)
+	// Empty register: zero tag, no element, no keys.
+	tag, elem, vlen, err := c.GetElem(ctx, testKey)
 	if err != nil || !tag.IsZero() || len(elem) != 0 || vlen != 0 {
 		t.Fatalf("GetElem on empty server = %v %v %d, %v", tag, elem, vlen, err)
 	}
+	if keys, err := c.Keys(ctx); err != nil || len(keys) != 0 {
+		t.Fatalf("Keys on empty server = %v, %v", keys, err)
+	}
 
 	t5 := Tag{TS: 5, Writer: "w"}
-	if err := c.PutData(ctx, t5, []byte{1, 2, 3}, 9); err != nil {
+	if err := c.PutData(ctx, testKey, t5, []byte{1, 2, 3}, 9); err != nil {
 		t.Fatalf("PutData: %v", err)
 	}
-	tag, elem, vlen, err = c.GetElem(ctx)
+	tag, elem, vlen, err = c.GetElem(ctx, testKey)
 	if err != nil || tag != t5 || vlen != 9 || !bytes.Equal(elem, []byte{1, 2, 3}) {
 		t.Fatalf("GetElem = %v %v %d, %v", tag, elem, vlen, err)
 	}
+	if keys, err := c.Keys(ctx); err != nil || len(keys) != 1 || keys[0] != testKey {
+		t.Fatalf("Keys = %v, %v", keys, err)
+	}
 
 	// Install below the current tag: rejected, state unchanged.
-	if ok, err := c.RepairPut(ctx, Tag{TS: 4, Writer: "w"}, []byte{7}, 1); err != nil || ok {
+	if ok, err := c.RepairPut(ctx, testKey, Tag{TS: 4, Writer: "w"}, []byte{7}, 1); err != nil || ok {
 		t.Fatalf("RepairPut below current = %v, %v", ok, err)
 	}
-	if got, _, _ := servers[0].core.Snapshot(); got != t5 {
+	if got, _, _ := servers[0].core.Snapshot(testKey); got != t5 {
 		t.Fatalf("rejected remote repair mutated the server: %v", got)
 	}
 	// At or above: installed.
 	t6 := Tag{TS: 6, Writer: "w"}
-	if ok, err := c.RepairPut(ctx, t6, []byte{9, 9}, 2); err != nil || !ok {
+	if ok, err := c.RepairPut(ctx, testKey, t6, []byte{9, 9}, 2); err != nil || !ok {
 		t.Fatalf("RepairPut above current = %v, %v", ok, err)
 	}
-	tag, elem, _, err = c.GetElem(ctx)
+	tag, elem, _, err = c.GetElem(ctx, testKey)
 	if err != nil || tag != t6 || !bytes.Equal(elem, []byte{9, 9}) {
 		t.Fatalf("GetElem after repair = %v %v, %v", tag, elem, err)
 	}
 }
 
-// TestTCPUnknownTypeByte sends garbage type bytes at a server and
-// expects an explicit error frame back — a *RemoteError naming the
-// offending byte — rather than a silent close.
+// TestTCPUnknownTypeByte sends garbage at a server and pins the two
+// error tiers: a framed message with an unknown type byte (or a
+// malformed body) gets an explicit error frame echoing its request id
+// and the connection survives; a frame too short to even carry a
+// header gets a connection-level error (request id 0).
 func TestTCPUnknownTypeByte(t *testing.T) {
 	ctx := testCtx(t)
 	conns, _ := startTCPCluster(t, 1)
 	c := conns[0].(*tcpConn)
 
-	payload, err := c.unary(ctx, []byte{0xFF})
+	// Unknown type byte under a well-formed header.
+	payload, err := c.unary(ctx, appendHeader(nil, 0xFF, 7))
 	if err != nil {
 		t.Fatalf("unary: %v", err)
 	}
+	req, rerr := decodeError(payload)
 	var re *RemoteError
-	if err := decodeAck(payload); !errors.As(err, &re) {
-		t.Fatalf("garbage type byte produced %v, want *RemoteError", err)
+	if req != 7 || !errors.As(rerr, &re) {
+		t.Fatalf("garbage type byte produced req %d, %v; want an echoed *RemoteError", req, rerr)
 	}
 	if re.Msg != "unknown message type 0xff" {
 		t.Fatalf("RemoteError.Msg = %q", re.Msg)
 	}
 
 	// A malformed known-type message gets the same treatment.
-	payload, err = c.unary(ctx, []byte{msgPutData, 0xDE, 0xAD})
+	payload, err = c.unary(ctx, append(appendHeader(nil, msgPutData, 9), 0xDE, 0xAD))
 	if err != nil {
 		t.Fatalf("unary: %v", err)
 	}
-	if err := decodeAck(payload); !errors.As(err, &re) {
-		t.Fatalf("truncated put-data produced %v, want *RemoteError", err)
+	if req, rerr := decodeError(payload); req != 9 || !errors.As(rerr, &re) {
+		t.Fatalf("truncated put-data produced req %d, %v", req, rerr)
+	}
+
+	// A headerless frame cannot be answered on a request id: the server
+	// sends a connection-level error (request id 0) and closes.
+	payload, err = c.unary(ctx, []byte{0xFF})
+	if err != nil {
+		t.Fatalf("unary: %v", err)
+	}
+	if req, rerr := decodeError(payload); req != 0 || !errors.As(rerr, &re) {
+		t.Fatalf("headerless frame produced req %d, %v; want a request-id-0 error", req, rerr)
 	}
 }
 
@@ -210,7 +242,7 @@ func TestTCPDialRetryTimeout(t *testing.T) {
 	ctx := testCtx(t)
 	c := TCPConn(0, dead, WithDialRetry(3, Backoff{Base: time.Millisecond, Max: 4 * time.Millisecond}))
 	start := time.Now()
-	if _, err := c.GetTag(ctx); err == nil {
+	if _, err := c.GetTag(ctx, testKey); err == nil {
 		t.Fatal("GetTag against a dead address succeeded")
 	}
 	if elapsed := time.Since(start); elapsed > 10*time.Second {
@@ -222,7 +254,7 @@ func TestTCPDialRetryTimeout(t *testing.T) {
 	cctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	start = time.Now()
-	if _, err := slow.GetTag(cctx); err == nil {
+	if _, err := slow.GetTag(cctx, testKey); err == nil {
 		t.Fatal("GetTag under a cancelled context succeeded")
 	}
 	if elapsed := time.Since(start); elapsed > 10*time.Second {
@@ -238,7 +270,7 @@ func TestTCPDialRetryTimeout(t *testing.T) {
 	conns, _ := startTCPCluster(t, 5)
 	conns[0] = TCPConn(0, dead, WithDialRetry(1, Backoff{Base: time.Millisecond}))
 	w := mustWriter(t, "w1", codec, conns)
-	if _, err := w.Write(testCtx(t), []byte("around the dead address")); err != nil {
+	if _, err := w.Write(testCtx(t), testKey, []byte("around the dead address")); err != nil {
 		t.Fatalf("Write with one dead address: %v", err)
 	}
 }

@@ -6,37 +6,63 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // Length-prefixed binary framing. Every message is one frame:
 //
 //	uint32 big-endian payload length | payload
 //
-// and every payload starts with a one-byte message type. Integers are
-// big-endian; byte strings carry a uint32 length, the writer id in a
-// tag a uint16 length. The format is deliberately tiny — SODA's
-// message alphabet is six messages — and has no versioning beyond the
-// type byte; it is an internal cluster protocol, not a public API.
+// and every payload starts with a fixed header:
+//
+//	byte type | uint64 request-id
+//
+// The request id is chosen by the client and echoed verbatim on every
+// response, so one long-lived connection can carry many concurrent
+// exchanges: a demux pump on the client routes each response frame to
+// the requester by (type, request-id), and a get-data stream keeps its
+// request id for the lifetime of the relay (every msgData frame on the
+// stream carries it). msgError echoes the offending request's id;
+// request id 0 in an error frame means the error is connection-level
+// (the peer could not even parse a header).
+//
+// Client→server messages address a named register with a uint16
+// length-prefixed key (≤ maxKeyLen bytes). Integers are big-endian;
+// byte strings carry a uint32 length, the writer id in a tag a uint16
+// length. The format is deliberately tiny and has no versioning beyond
+// the type byte; it is an internal cluster protocol, not a public API.
 
 // Message types.
 const (
-	msgGetTag     byte = 1  // c->s: get-tag phase
-	msgTagResp    byte = 2  // s->c: the server's tag
-	msgPutData    byte = 3  // c->s: put-data phase {tag, vlen, elem}
+	msgGetTag     byte = 1  // c->s: get-tag phase {key}
+	msgTagResp    byte = 2  // s->c: the server's tag for the key
+	msgPutData    byte = 3  // c->s: put-data phase {key, tag, vlen, elem}
 	msgAck        byte = 4  // s->c: put-data acknowledged
-	msgGetData    byte = 5  // c->s: register reader {readerID}
-	msgData       byte = 6  // s->c: {tag, vlen, initial, elem}, repeated
-	msgReaderDone byte = 7  // c->s: unregister reader
-	msgGetElem    byte = 8  // c->s: repair collection — fetch (tag, elem)
+	msgGetData    byte = 5  // c->s: register reader {key, readerID}; opens a relay stream
+	msgData       byte = 6  // s->c: {tag, vlen, initial, elem}, repeated on the stream's id
+	msgReaderDone byte = 7  // c->s: unregister the stream with this request id
+	msgGetElem    byte = 8  // c->s: repair collection — fetch (tag, elem) {key}
 	msgElemResp   byte = 9  // s->c: {tag, vlen, elem}
-	msgRepairPut  byte = 10 // c->s: install a repaired element {tag, vlen, elem}
+	msgRepairPut  byte = 10 // c->s: install a repaired element {key, tag, vlen, elem}
 	msgRepairResp byte = 11 // s->c: {accepted}: tag >= current, installed
-	msgError      byte = 12 // s->c: {message}: explicit protocol error
+	msgError      byte = 12 // s->c: {message}: explicit protocol error for request id
+	msgKeys       byte = 13 // c->s: enumerate the server's non-empty keys
+	msgKeysResp   byte = 14 // s->c: {count, key...}
 )
 
 // maxFrame bounds a frame payload; a peer announcing more is treated
 // as broken rather than allocated for.
 const maxFrame = 16 << 20
+
+// maxKeyLen bounds register keys on the wire; the uint16 length field
+// allows more, but a key is a name, not a payload.
+const maxKeyLen = 255
+
+// maxKeys bounds a keys-resp enumeration a peer can make us allocate.
+const maxKeys = 1 << 20
+
+// headerLen is the fixed payload prefix: type byte + uint64 request id.
+const headerLen = 1 + 8
 
 var (
 	// ErrFrame is returned for malformed or oversized frames.
@@ -68,6 +94,44 @@ type RemoteError struct {
 }
 
 func (e *RemoteError) Error() string { return "soda: server error: " + e.Msg }
+
+// validateKey rejects keys the wire format cannot carry. Empty keys
+// are refused too: "no key" is indistinguishable from a decoding bug.
+func validateKey(key string) error {
+	if key == "" {
+		return fmt.Errorf("%w: empty key", ErrFrame)
+	}
+	if len(key) > maxKeyLen {
+		return fmt.Errorf("%w: %d byte key exceeds %d", ErrFrame, len(key), maxKeyLen)
+	}
+	return nil
+}
+
+// framePool recycles payload buffers for the hot encode paths. Buffers
+// are handed to writeFrame and returned to the pool by the sender;
+// oversized ones (a huge value passed through once) are dropped rather
+// than pinned.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+const maxPooledFrame = 64 << 10
+
+func getFrame() *[]byte {
+	bp := framePool.Get().(*[]byte)
+	*bp = (*bp)[:0]
+	return bp
+}
+
+func putFrame(bp *[]byte) {
+	if cap(*bp) > maxPooledFrame {
+		return
+	}
+	framePool.Put(bp)
+}
 
 // writeFrame writes one length-prefixed frame.
 func writeFrame(w io.Writer, payload []byte) error {
@@ -103,7 +167,24 @@ func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
-// Append-style encoders.
+// peekHeader reads the fixed header without consuming anything: the
+// demux pump routes a frame by (type, request-id) before the full
+// decoder runs.
+func peekHeader(payload []byte) (typ byte, req uint64, ok bool) {
+	if len(payload) < headerLen {
+		return 0, 0, false
+	}
+	return payload[0], binary.BigEndian.Uint64(payload[1:headerLen]), true
+}
+
+// Append-style encoders. Each appends a complete payload (header
+// included) to b and returns the extended slice, so hot paths encode
+// into pooled buffers.
+
+func appendHeader(b []byte, typ byte, req uint64) []byte {
+	b = append(b, typ)
+	return binary.BigEndian.AppendUint64(b, req)
+}
 
 func appendTag(b []byte, t Tag) []byte {
 	// Writer ids are bounded at the constructors (maxWriterID) and by
@@ -119,29 +200,40 @@ func appendTag(b []byte, t Tag) []byte {
 	return append(b, w...)
 }
 
+func appendKey(b []byte, key string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(key)))
+	return append(b, key...)
+}
+
 func appendBytes(b, p []byte) []byte {
 	b = binary.BigEndian.AppendUint32(b, uint32(len(p)))
 	return append(b, p...)
 }
 
-func encodeGetTag() []byte { return []byte{msgGetTag} }
+func appendGetTag(b []byte, req uint64, key string) []byte {
+	return appendKey(appendHeader(b, msgGetTag, req), key)
+}
 
-func encodeTagResp(t Tag) []byte { return appendTag([]byte{msgTagResp}, t) }
+func appendTagResp(b []byte, req uint64, t Tag) []byte {
+	return appendTag(appendHeader(b, msgTagResp, req), t)
+}
 
-func encodePutData(t Tag, elem []byte, vlen int) []byte {
-	b := appendTag([]byte{msgPutData}, t)
+func appendPutData(b []byte, req uint64, key string, t Tag, elem []byte, vlen int) []byte {
+	b = appendKey(appendHeader(b, msgPutData, req), key)
+	b = appendTag(b, t)
 	b = binary.BigEndian.AppendUint32(b, uint32(vlen))
 	return appendBytes(b, elem)
 }
 
-func encodeAck() []byte { return []byte{msgAck} }
+func appendAck(b []byte, req uint64) []byte { return appendHeader(b, msgAck, req) }
 
-func encodeGetData(readerID string) []byte {
-	return appendBytes([]byte{msgGetData}, []byte(readerID))
+func appendGetData(b []byte, req uint64, key, readerID string) []byte {
+	b = appendKey(appendHeader(b, msgGetData, req), key)
+	return appendBytes(b, []byte(readerID))
 }
 
-func encodeData(d Delivery) []byte {
-	b := appendTag([]byte{msgData}, d.Tag)
+func appendData(b []byte, req uint64, d Delivery) []byte {
+	b = appendTag(appendHeader(b, msgData, req), d.Tag)
 	b = binary.BigEndian.AppendUint32(b, uint32(d.VLen))
 	var initial byte
 	if d.Initial {
@@ -151,39 +243,53 @@ func encodeData(d Delivery) []byte {
 	return appendBytes(b, d.Elem)
 }
 
-func encodeReaderDone() []byte { return []byte{msgReaderDone} }
+func appendReaderDone(b []byte, req uint64) []byte { return appendHeader(b, msgReaderDone, req) }
 
-func encodeGetElem() []byte { return []byte{msgGetElem} }
+func appendGetElem(b []byte, req uint64, key string) []byte {
+	return appendKey(appendHeader(b, msgGetElem, req), key)
+}
 
-func encodeElemResp(t Tag, elem []byte, vlen int) []byte {
-	b := appendTag([]byte{msgElemResp}, t)
+func appendElemResp(b []byte, req uint64, t Tag, elem []byte, vlen int) []byte {
+	b = appendTag(appendHeader(b, msgElemResp, req), t)
 	b = binary.BigEndian.AppendUint32(b, uint32(vlen))
 	return appendBytes(b, elem)
 }
 
-func encodeRepairPut(t Tag, elem []byte, vlen int) []byte {
-	b := appendTag([]byte{msgRepairPut}, t)
+func appendRepairPut(b []byte, req uint64, key string, t Tag, elem []byte, vlen int) []byte {
+	b = appendKey(appendHeader(b, msgRepairPut, req), key)
+	b = appendTag(b, t)
 	b = binary.BigEndian.AppendUint32(b, uint32(vlen))
 	return appendBytes(b, elem)
 }
 
-func encodeRepairResp(accepted bool) []byte {
+func appendRepairResp(b []byte, req uint64, accepted bool) []byte {
 	var a byte
 	if accepted {
 		a = 1
 	}
-	return []byte{msgRepairResp, a}
+	return append(appendHeader(b, msgRepairResp, req), a)
+}
+
+func appendKeysReq(b []byte, req uint64) []byte { return appendHeader(b, msgKeys, req) }
+
+func appendKeysResp(b []byte, req uint64, keys []string) []byte {
+	b = appendHeader(b, msgKeysResp, req)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(keys)))
+	for _, k := range keys {
+		b = appendKey(b, k)
+	}
+	return b
 }
 
 // maxErrorMsg caps the error-frame text a peer can make us relay or
 // store.
 const maxErrorMsg = 512
 
-func encodeError(msg string) []byte {
+func appendError(b []byte, req uint64, msg string) []byte {
 	if len(msg) > maxErrorMsg {
 		msg = msg[:maxErrorMsg]
 	}
-	return appendBytes([]byte{msgError}, []byte(msg))
+	return appendBytes(appendHeader(b, msgError, req), []byte(msg))
 }
 
 // cursor is a bounds-checked payload parser: every getter records an
@@ -240,6 +346,17 @@ func (c *cursor) tag() Tag {
 	return Tag{TS: ts, Writer: string(c.take(int(c.u16())))}
 }
 
+// key parses a uint16 length-prefixed register key, enforcing the wire
+// bound so an adversarial length cannot smuggle a payload-sized name.
+func (c *cursor) key() string {
+	n := c.u16()
+	if n == 0 || n > maxKeyLen {
+		c.failed = true
+		return ""
+	}
+	return string(c.take(int(n)))
+}
+
 // bytes returns a copy of a length-prefixed byte string, so decoded
 // messages never alias a transport read buffer.
 func (c *cursor) bytes() []byte {
@@ -267,26 +384,33 @@ func (c *cursor) err(want string) error {
 // Decoders. Each checks the type byte itself so dispatch sites stay
 // honest about what they expect, and each surfaces a peer's explicit
 // msgError frame as a *RemoteError — a version-skewed peer degrades
-// into a legible error instead of a desynced stream.
+// into a legible error instead of a desynced stream. Every decoder
+// returns the request id from the header so unary callers can detect a
+// response routed to the wrong exchange.
 
-// typeCheck begins decoding: it consumes the type byte, intercepting
-// error frames and reporting unexpected types as typed errors.
-func typeCheck(c *cursor, want byte, name string) error {
+// header begins decoding: it consumes the type byte and request id,
+// intercepting error frames and reporting unexpected types as typed
+// errors.
+func header(c *cursor, want byte, name string) (uint64, error) {
 	if len(c.b) == 0 {
-		return &FrameError{Want: name, Msg: "empty payload"}
+		return 0, &FrameError{Want: name, Msg: "empty payload"}
 	}
 	got := c.u8()
+	req := c.u64()
+	if c.failed {
+		return 0, &FrameError{Want: name, Got: got, Msg: "truncated header"}
+	}
 	if got == want {
-		return nil
+		return req, nil
 	}
 	if got == msgError {
-		return decodeErrorTail(c)
+		return req, decodeErrorTail(c)
 	}
-	return &FrameError{Want: name, Got: got, Msg: fmt.Sprintf("unexpected message type %#x", got)}
+	return req, &FrameError{Want: name, Got: got, Msg: fmt.Sprintf("unexpected message type %#x", got)}
 }
 
 // decodeErrorTail parses the remainder of an msgError payload (the
-// type byte already consumed).
+// header already consumed).
 func decodeErrorTail(c *cursor) error {
 	msg := string(c.bytes())
 	if err := c.err("error"); err != nil {
@@ -298,13 +422,43 @@ func decodeErrorTail(c *cursor) error {
 	return &RemoteError{Msg: msg}
 }
 
-func decodeTagResp(payload []byte) (Tag, error) {
+// decodeError parses an msgError payload, returning the echoed
+// request id and the *RemoteError (or a FrameError when the frame is
+// not actually an error frame).
+func decodeError(payload []byte) (uint64, error) {
 	c := &cursor{b: payload}
-	if err := typeCheck(c, msgTagResp, "tag-resp"); err != nil {
-		return Tag{}, err
+	if len(c.b) == 0 {
+		return 0, &FrameError{Want: "error", Msg: "empty payload"}
+	}
+	got := c.u8()
+	req := c.u64()
+	if c.failed {
+		return 0, &FrameError{Want: "error", Got: got, Msg: "truncated header"}
+	}
+	if got != msgError {
+		return req, &FrameError{Want: "error", Got: got, Msg: fmt.Sprintf("unexpected message type %#x", got)}
+	}
+	return req, decodeErrorTail(c)
+}
+
+func decodeGetTag(payload []byte) (uint64, string, error) {
+	c := &cursor{b: payload}
+	req, err := header(c, msgGetTag, "get-tag")
+	if err != nil {
+		return req, "", err
+	}
+	key := c.key()
+	return req, key, c.err("get-tag")
+}
+
+func decodeTagResp(payload []byte) (uint64, Tag, error) {
+	c := &cursor{b: payload}
+	req, err := header(c, msgTagResp, "tag-resp")
+	if err != nil {
+		return req, Tag{}, err
 	}
 	t := c.tag()
-	return t, c.err("tag-resp")
+	return req, t, c.err("tag-resp")
 }
 
 // decodeTaggedElem parses the shared {tag, vlen, elem} tail of
@@ -319,27 +473,33 @@ func decodeTaggedElem(c *cursor, name string) (Tag, []byte, int, error) {
 	return t, elem, int(vlen), c.err(name)
 }
 
-func decodePutData(payload []byte) (Tag, []byte, int, error) {
+func decodePutData(payload []byte) (uint64, string, Tag, []byte, int, error) {
 	c := &cursor{b: payload}
-	if err := typeCheck(c, msgPutData, "put-data"); err != nil {
-		return Tag{}, nil, 0, err
+	req, err := header(c, msgPutData, "put-data")
+	if err != nil {
+		return req, "", Tag{}, nil, 0, err
 	}
-	return decodeTaggedElem(c, "put-data")
+	key := c.key()
+	t, elem, vlen, err := decodeTaggedElem(c, "put-data")
+	return req, key, t, elem, vlen, err
 }
 
-func decodeGetData(payload []byte) (string, error) {
+func decodeGetData(payload []byte) (uint64, string, string, error) {
 	c := &cursor{b: payload}
-	if err := typeCheck(c, msgGetData, "get-data"); err != nil {
-		return "", err
+	req, err := header(c, msgGetData, "get-data")
+	if err != nil {
+		return req, "", "", err
 	}
+	key := c.key()
 	rid := string(c.bytes())
-	return rid, c.err("get-data")
+	return req, key, rid, c.err("get-data")
 }
 
-func decodeData(payload []byte) (Delivery, error) {
+func decodeData(payload []byte) (uint64, Delivery, error) {
 	c := &cursor{b: payload}
-	if err := typeCheck(c, msgData, "data"); err != nil {
-		return Delivery{}, err
+	req, err := header(c, msgData, "data")
+	if err != nil {
+		return req, Delivery{}, err
 	}
 	var d Delivery
 	d.Tag = c.tag()
@@ -350,38 +510,96 @@ func decodeData(payload []byte) (Delivery, error) {
 	d.VLen = int(vlen)
 	d.Initial = c.u8() == 1
 	d.Elem = c.bytes()
-	return d, c.err("data")
+	return req, d, c.err("data")
 }
 
-func decodeElemResp(payload []byte) (Tag, []byte, int, error) {
+func decodeReaderDone(payload []byte) (uint64, error) {
 	c := &cursor{b: payload}
-	if err := typeCheck(c, msgElemResp, "elem-resp"); err != nil {
-		return Tag{}, nil, 0, err
+	req, err := header(c, msgReaderDone, "reader-done")
+	if err != nil {
+		return req, err
 	}
-	return decodeTaggedElem(c, "elem-resp")
+	return req, c.err("reader-done")
 }
 
-func decodeRepairPut(payload []byte) (Tag, []byte, int, error) {
+func decodeGetElem(payload []byte) (uint64, string, error) {
 	c := &cursor{b: payload}
-	if err := typeCheck(c, msgRepairPut, "repair-put"); err != nil {
-		return Tag{}, nil, 0, err
+	req, err := header(c, msgGetElem, "get-elem")
+	if err != nil {
+		return req, "", err
 	}
-	return decodeTaggedElem(c, "repair-put")
+	key := c.key()
+	return req, key, c.err("get-elem")
 }
 
-func decodeAck(payload []byte) error {
+func decodeElemResp(payload []byte) (uint64, Tag, []byte, int, error) {
 	c := &cursor{b: payload}
-	if err := typeCheck(c, msgAck, "ack"); err != nil {
-		return err
+	req, err := header(c, msgElemResp, "elem-resp")
+	if err != nil {
+		return req, Tag{}, nil, 0, err
 	}
-	return c.err("ack")
+	t, elem, vlen, err := decodeTaggedElem(c, "elem-resp")
+	return req, t, elem, vlen, err
 }
 
-func decodeRepairResp(payload []byte) (bool, error) {
+func decodeRepairPut(payload []byte) (uint64, string, Tag, []byte, int, error) {
 	c := &cursor{b: payload}
-	if err := typeCheck(c, msgRepairResp, "repair-resp"); err != nil {
-		return false, err
+	req, err := header(c, msgRepairPut, "repair-put")
+	if err != nil {
+		return req, "", Tag{}, nil, 0, err
+	}
+	key := c.key()
+	t, elem, vlen, err := decodeTaggedElem(c, "repair-put")
+	return req, key, t, elem, vlen, err
+}
+
+func decodeAck(payload []byte) (uint64, error) {
+	c := &cursor{b: payload}
+	req, err := header(c, msgAck, "ack")
+	if err != nil {
+		return req, err
+	}
+	return req, c.err("ack")
+}
+
+func decodeRepairResp(payload []byte) (uint64, bool, error) {
+	c := &cursor{b: payload}
+	req, err := header(c, msgRepairResp, "repair-resp")
+	if err != nil {
+		return req, false, err
 	}
 	accepted := c.u8() == 1
-	return accepted, c.err("repair-resp")
+	return req, accepted, c.err("repair-resp")
+}
+
+func decodeKeysReq(payload []byte) (uint64, error) {
+	c := &cursor{b: payload}
+	req, err := header(c, msgKeys, "keys")
+	if err != nil {
+		return req, err
+	}
+	return req, c.err("keys")
+}
+
+func decodeKeysResp(payload []byte) (uint64, []string, error) {
+	c := &cursor{b: payload}
+	req, err := header(c, msgKeysResp, "keys-resp")
+	if err != nil {
+		return req, nil, err
+	}
+	n := c.u32()
+	if n > maxKeys {
+		c.failed = true
+	}
+	var keys []string
+	if !c.failed && n > 0 {
+		keys = make([]string, 0, min(int(n), 1024))
+		for i := uint32(0); i < n && !c.failed; i++ {
+			keys = append(keys, c.key())
+		}
+	}
+	if err := c.err("keys-resp"); err != nil {
+		return req, nil, err
+	}
+	return req, keys, nil
 }

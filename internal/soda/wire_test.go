@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"strings"
 	"testing"
 )
 
@@ -39,10 +40,13 @@ func TestTagOrder(t *testing.T) {
 	}
 }
 
-// TestWireRoundTrip frames and parses every message type.
+// TestWireRoundTrip frames and parses every message type, checking the
+// request id echoes through each one.
 func TestWireRoundTrip(t *testing.T) {
 	tag := Tag{TS: 77, Writer: "writer-α"}
 	elem := []byte{1, 2, 3, 4, 5}
+	const key = "accounts/42"
+	const req = uint64(0xDEADBEEF01)
 
 	roundtrip := func(payload []byte) []byte {
 		t.Helper()
@@ -54,28 +58,58 @@ func TestWireRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("readFrame: %v", err)
 		}
+		typ, r, ok := peekHeader(got)
+		if !ok || typ != payload[0] || r != req {
+			t.Fatalf("peekHeader = (%#x, %d, %v), want (%#x, %d, true)", typ, r, ok, payload[0], req)
+		}
 		return got
 	}
 
-	if got, err := decodeTagResp(roundtrip(encodeTagResp(tag))); err != nil || got != tag {
-		t.Fatalf("tag-resp round trip = %v, %v", got, err)
+	gr, gk, err := decodeGetTag(roundtrip(appendGetTag(nil, req, key)))
+	if err != nil || gr != req || gk != key {
+		t.Fatalf("get-tag round trip = %d %q, %v", gr, gk, err)
 	}
-	gt, ge, gv, err := decodePutData(roundtrip(encodePutData(tag, elem, 99)))
-	if err != nil || gt != tag || gv != 99 || !bytes.Equal(ge, elem) {
-		t.Fatalf("put-data round trip = %v %v %d, %v", gt, ge, gv, err)
+	if gr, got, err := decodeTagResp(roundtrip(appendTagResp(nil, req, tag))); err != nil || gr != req || got != tag {
+		t.Fatalf("tag-resp round trip = %d %v, %v", gr, got, err)
 	}
-	if rid, err := decodeGetData(roundtrip(encodeGetData("r#7"))); err != nil || rid != "r#7" {
-		t.Fatalf("get-data round trip = %q, %v", rid, err)
+	gr, gk, gt, ge, gv, err := decodePutData(roundtrip(appendPutData(nil, req, key, tag, elem, 99)))
+	if err != nil || gr != req || gk != key || gt != tag || gv != 99 || !bytes.Equal(ge, elem) {
+		t.Fatalf("put-data round trip = %d %q %v %v %d, %v", gr, gk, gt, ge, gv, err)
+	}
+	gr, gk, rid, err := decodeGetData(roundtrip(appendGetData(nil, req, key, "r#7")))
+	if err != nil || gr != req || gk != key || rid != "r#7" {
+		t.Fatalf("get-data round trip = %d %q %q, %v", gr, gk, rid, err)
 	}
 	d := Delivery{Tag: tag, Elem: elem, VLen: 99, Initial: true}
-	got, err := decodeData(roundtrip(encodeData(d)))
-	if err != nil || got.Tag != tag || !bytes.Equal(got.Elem, elem) || got.VLen != 99 || !got.Initial {
-		t.Fatalf("data round trip = %+v, %v", got, err)
+	gr, got, err := decodeData(roundtrip(appendData(nil, req, d)))
+	if err != nil || gr != req || got.Tag != tag || !bytes.Equal(got.Elem, elem) || got.VLen != 99 || !got.Initial {
+		t.Fatalf("data round trip = %d %+v, %v", gr, got, err)
 	}
 	// The zero-tag empty-server delivery also survives.
-	got, err = decodeData(roundtrip(encodeData(Delivery{Initial: true})))
-	if err != nil || !got.Tag.IsZero() || len(got.Elem) != 0 || !got.Initial {
-		t.Fatalf("empty data round trip = %+v, %v", got, err)
+	gr, got, err = decodeData(roundtrip(appendData(nil, req, Delivery{Initial: true})))
+	if err != nil || gr != req || !got.Tag.IsZero() || len(got.Elem) != 0 || !got.Initial {
+		t.Fatalf("empty data round trip = %d %+v, %v", gr, got, err)
+	}
+	if gr, err := decodeReaderDone(roundtrip(appendReaderDone(nil, req))); err != nil || gr != req {
+		t.Fatalf("reader-done round trip = %d, %v", gr, err)
+	}
+	if gr, err := decodeKeysReq(roundtrip(appendKeysReq(nil, req))); err != nil || gr != req {
+		t.Fatalf("keys round trip = %d, %v", gr, err)
+	}
+	keys := []string{"a", "b/c", strings.Repeat("k", maxKeyLen)}
+	gr, gks, err := decodeKeysResp(roundtrip(appendKeysResp(nil, req, keys)))
+	if err != nil || gr != req || len(gks) != len(keys) {
+		t.Fatalf("keys-resp round trip = %d %v, %v", gr, gks, err)
+	}
+	for i := range keys {
+		if gks[i] != keys[i] {
+			t.Fatalf("keys-resp[%d] = %q, want %q", i, gks[i], keys[i])
+		}
+	}
+	// An empty enumeration survives too.
+	gr, gks, err = decodeKeysResp(roundtrip(appendKeysResp(nil, req, nil)))
+	if err != nil || gr != req || len(gks) != 0 {
+		t.Fatalf("empty keys-resp round trip = %d %v, %v", gr, gks, err)
 	}
 }
 
@@ -84,24 +118,59 @@ func TestWireRoundTrip(t *testing.T) {
 func TestWireRepairRoundTrip(t *testing.T) {
 	tag := Tag{TS: 41, Writer: "repairer"}
 	elem := []byte{8, 6, 7, 5, 3, 0, 9}
+	const key = "k"
+	const req = uint64(31337)
 
-	gt, ge, gv, err := decodeElemResp(encodeElemResp(tag, elem, 21))
-	if err != nil || gt != tag || gv != 21 || !bytes.Equal(ge, elem) {
-		t.Fatalf("elem-resp round trip = %v %v %d, %v", gt, ge, gv, err)
+	gr, gt, ge, gv, err := decodeElemResp(appendElemResp(nil, req, tag, elem, 21))
+	if err != nil || gr != req || gt != tag || gv != 21 || !bytes.Equal(ge, elem) {
+		t.Fatalf("elem-resp round trip = %d %v %v %d, %v", gr, gt, ge, gv, err)
 	}
 	// The zero-tag empty-register response survives too.
-	gt, ge, gv, err = decodeElemResp(encodeElemResp(Tag{}, nil, 0))
-	if err != nil || !gt.IsZero() || len(ge) != 0 || gv != 0 {
-		t.Fatalf("empty elem-resp round trip = %v %v %d, %v", gt, ge, gv, err)
+	gr, gt, ge, gv, err = decodeElemResp(appendElemResp(nil, req, Tag{}, nil, 0))
+	if err != nil || gr != req || !gt.IsZero() || len(ge) != 0 || gv != 0 {
+		t.Fatalf("empty elem-resp round trip = %d %v %v %d, %v", gr, gt, ge, gv, err)
 	}
-	gt, ge, gv, err = decodeRepairPut(encodeRepairPut(tag, elem, 21))
-	if err != nil || gt != tag || gv != 21 || !bytes.Equal(ge, elem) {
-		t.Fatalf("repair-put round trip = %v %v %d, %v", gt, ge, gv, err)
+	if gr, gk, err := decodeGetElem(appendGetElem(nil, req, key)); err != nil || gr != req || gk != key {
+		t.Fatalf("get-elem round trip = %d %q, %v", gr, gk, err)
+	}
+	gr, gk, gt, ge, gv, err := decodeRepairPut(appendRepairPut(nil, req, key, tag, elem, 21))
+	if err != nil || gr != req || gk != key || gt != tag || gv != 21 || !bytes.Equal(ge, elem) {
+		t.Fatalf("repair-put round trip = %d %q %v %v %d, %v", gr, gk, gt, ge, gv, err)
 	}
 	for _, accepted := range []bool{true, false} {
-		if got, err := decodeRepairResp(encodeRepairResp(accepted)); err != nil || got != accepted {
-			t.Fatalf("repair-resp(%v) round trip = %v, %v", accepted, got, err)
+		if gr, got, err := decodeRepairResp(appendRepairResp(nil, req, accepted)); err != nil || gr != req || got != accepted {
+			t.Fatalf("repair-resp(%v) round trip = %d %v, %v", accepted, gr, got, err)
 		}
+	}
+}
+
+// TestWireKeyBounds pins the key validation rules: empty keys and
+// oversized keys are refused by encoder-side validation and by the
+// cursor on decode.
+func TestWireKeyBounds(t *testing.T) {
+	if err := validateKey(""); !errors.Is(err, ErrFrame) {
+		t.Fatalf("validateKey(\"\") = %v", err)
+	}
+	long := strings.Repeat("x", maxKeyLen+1)
+	if err := validateKey(long); !errors.Is(err, ErrFrame) {
+		t.Fatalf("validateKey(256 bytes) = %v", err)
+	}
+	if err := validateKey(strings.Repeat("x", maxKeyLen)); err != nil {
+		t.Fatalf("validateKey(255 bytes) = %v", err)
+	}
+	// A forged frame with a zero-length key fails decode.
+	b := appendHeader(nil, msgGetTag, 1)
+	b = append(b, 0, 0) // uint16 key length 0
+	if _, _, err := decodeGetTag(b); !errors.Is(err, ErrFrame) {
+		t.Fatalf("zero-length key decode = %v", err)
+	}
+	// A forged length larger than maxKeyLen fails even when the bytes
+	// are present.
+	b = appendHeader(nil, msgGetTag, 1)
+	b = append(b, 0x01, 0x00) // claims 256
+	b = append(b, bytes.Repeat([]byte{'x'}, 256)...)
+	if _, _, err := decodeGetTag(b); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized key decode = %v", err)
 	}
 }
 
@@ -109,9 +178,10 @@ func TestWireRepairRoundTrip(t *testing.T) {
 // trailing bytes yield *FrameError (still matching ErrFrame), and an
 // explicit msgError frame surfaces as *RemoteError from any decoder.
 func TestWireTypedErrors(t *testing.T) {
+	const req = uint64(5)
 	// Truncated payload: typed, named, and ErrFrame-compatible.
-	full := encodeElemResp(Tag{TS: 3, Writer: "w"}, []byte{1, 2}, 2)
-	_, _, _, err := decodeElemResp(full[:len(full)-1])
+	full := appendElemResp(nil, req, Tag{TS: 3, Writer: "w"}, []byte{1, 2}, 2)
+	_, _, _, _, err := decodeElemResp(full[:len(full)-1])
 	var fe *FrameError
 	if !errors.As(err, &fe) || !errors.Is(err, ErrFrame) {
 		t.Fatalf("truncated elem-resp error = %v (%T)", err, err)
@@ -121,57 +191,72 @@ func TestWireTypedErrors(t *testing.T) {
 	}
 
 	// Trailing bytes.
-	_, _, _, err = decodeElemResp(append(append([]byte(nil), full...), 0xAB))
+	_, _, _, _, err = decodeElemResp(append(append([]byte(nil), full...), 0xAB))
 	if !errors.As(err, &fe) || fe.Msg != "1 trailing bytes" {
 		t.Fatalf("trailing-bytes error = %v", err)
 	}
 
 	// Wrong type byte names both sides of the disagreement.
-	err = decodeAck(encodeRepairResp(true))
+	_, err = decodeAck(appendRepairResp(nil, req, true))
 	if !errors.As(err, &fe) || fe.Want != "ack" || fe.Got != msgRepairResp {
 		t.Fatalf("wrong-type error = %v (%+v)", err, fe)
 	}
 
-	// An explicit error frame beats a type mismatch in every decoder.
-	frame := encodeError("unknown message type 0xff")
+	// An explicit error frame beats a type mismatch in every decoder,
+	// and the offending request id comes back with it.
+	frame := appendError(nil, req, "unknown message type 0xff")
 	var re *RemoteError
-	if err := decodeAck(frame); !errors.As(err, &re) || re.Msg != "unknown message type 0xff" {
-		t.Fatalf("error frame via decodeAck = %v", err)
+	gr, err := decodeAck(frame)
+	if gr != req || !errors.As(err, &re) || re.Msg != "unknown message type 0xff" {
+		t.Fatalf("error frame via decodeAck = %d, %v", gr, err)
 	}
-	if _, err := decodeTagResp(frame); !errors.As(err, &re) {
+	if _, _, err := decodeTagResp(frame); !errors.As(err, &re) {
 		t.Fatalf("error frame via decodeTagResp = %v", err)
 	}
-	if _, _, _, err := decodeElemResp(frame); !errors.As(err, &re) {
+	if _, _, _, _, err := decodeElemResp(frame); !errors.As(err, &re) {
 		t.Fatalf("error frame via decodeElemResp = %v", err)
+	}
+	// decodeError parses it directly, echoing the request id.
+	if gr, err := decodeError(frame); gr != req || !errors.As(err, &re) {
+		t.Fatalf("decodeError = %d, %v", gr, err)
 	}
 
 	// Error-frame text is capped in both directions.
 	huge := string(bytes.Repeat([]byte{'x'}, 4*maxErrorMsg))
-	if err := decodeAck(encodeError(huge)); !errors.As(err, &re) || len(re.Msg) != maxErrorMsg {
+	if _, err := decodeAck(appendError(nil, req, huge)); !errors.As(err, &re) || len(re.Msg) != maxErrorMsg {
 		t.Fatalf("oversized error frame = %v", err)
 	}
 
 	// Empty payloads are typed failures, not panics.
-	if err := decodeAck(nil); !errors.As(err, &fe) || fe.Msg != "empty payload" {
+	if _, err := decodeAck(nil); !errors.As(err, &fe) || fe.Msg != "empty payload" {
 		t.Fatalf("empty payload error = %v", err)
+	}
+	if _, _, ok := peekHeader([]byte{msgAck, 0, 0}); ok {
+		t.Fatal("peekHeader accepted a short header")
 	}
 }
 
 func TestWireMalformed(t *testing.T) {
 	// Truncated payloads must error, not panic or misparse.
-	full := encodePutData(Tag{TS: 5, Writer: "w"}, []byte{9, 9, 9}, 3)
+	full := appendPutData(nil, 9, "k", Tag{TS: 5, Writer: "w"}, []byte{9, 9, 9}, 3)
 	for cut := 1; cut < len(full); cut++ {
-		if _, _, _, err := decodePutData(full[:cut]); err == nil {
+		if _, _, _, _, _, err := decodePutData(full[:cut]); err == nil {
 			t.Fatalf("decodePutData accepted a %d/%d byte prefix", cut, len(full))
 		}
 	}
 	// Trailing garbage is rejected too.
-	if _, err := decodeTagResp(append(encodeTagResp(Tag{TS: 1}), 0xFF)); err == nil {
+	if _, _, err := decodeTagResp(append(appendTagResp(nil, 9, Tag{TS: 1}), 0xFF)); err == nil {
 		t.Fatal("decodeTagResp accepted trailing bytes")
 	}
 	// Wrong message type.
-	if _, err := decodeTagResp(encodeAck()); err == nil {
+	if _, _, err := decodeTagResp(appendAck(nil, 9)); err == nil {
 		t.Fatal("decodeTagResp accepted an ack")
+	}
+	// A keys-resp claiming an absurd count fails instead of allocating.
+	b := appendHeader(nil, msgKeysResp, 9)
+	b = append(b, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, _, err := decodeKeysResp(b); err == nil {
+		t.Fatal("decodeKeysResp accepted a 4-billion-key enumeration")
 	}
 	// Oversized and zero-length frames are refused at the framing layer.
 	var buf bytes.Buffer
