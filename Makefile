@@ -3,7 +3,7 @@ GO ?= go
 # The benchmark selection shared by `make bench` and `make bench-json`.
 BENCH_PATTERN := MulAddSlice|MulSlice|MulAddMulti|Encode|Reconstruct|Verify|DecodeErrors
 
-.PHONY: all build build-cross test vet bench bench-smoke bench-json bench-soda-json bench-soda-smoke race fuzz
+.PHONY: all build build-cross test test-durability vet bench bench-smoke bench-json bench-soda-json bench-soda-smoke race fuzz
 
 all: vet build test race
 
@@ -20,6 +20,13 @@ build-cross:
 
 test:
 	$(GO) test ./...
+
+# test-durability is the fault-injection lane: the WAL/snapshot/
+# recovery battery (power cuts at every byte offset, torn records,
+# fsync-mode loss semantics, the kill-recover-rejoin soak) under the
+# race detector.
+test-durability:
+	$(GO) test -race -run 'WAL|Snapshot|Recover|PowerCut|Fsync|Torn|Durable' ./internal/soda/
 
 race:
 	$(GO) test -race ./...

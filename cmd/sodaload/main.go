@@ -80,6 +80,11 @@ type runResult struct {
 	WriteP99Us   float64 `json:"write_p99_us"`
 	ServerRelays uint64  `json:"server_relays"`
 	ServerRegGCs uint64  `json:"server_reg_gcs"`
+	// Namespace-hygiene gauges/counters: registrations still held at
+	// the end of the run (should be ~0 once readers tear down) and
+	// empty registers collected during it.
+	ServerRegistrations uint64 `json:"server_registrations"`
+	ServerRegisterGCs   uint64 `json:"server_register_gcs"`
 }
 
 type suiteOutput struct {
@@ -427,26 +432,28 @@ func runLoad(cfg runConfig) (runResult, error) {
 		ms.Add(s.MetricsSnapshot())
 	}
 	return runResult{
-		Transport:    cfg.transport,
-		N:            cfg.n,
-		K:            cfg.k,
-		Keys:         cfg.keys,
-		OfferedOpsS:  cfg.rate,
-		DurationS:    round2(cfg.duration.Seconds()),
-		ReadFrac:     cfg.readFrac,
-		ValueBytes:   cfg.vsize,
-		Inflight:     cfg.inflight,
-		Arrivals:     arrivals,
-		Completed:    completed,
-		Shed:         shed,
-		Errors:       errs,
-		GoodputOpsS:  round2(float64(completed) / elapsed.Seconds()),
-		ReadP50Us:    pctileUs(readLat, 50),
-		ReadP99Us:    pctileUs(readLat, 99),
-		WriteP50Us:   pctileUs(writeLat, 50),
-		WriteP99Us:   pctileUs(writeLat, 99),
-		ServerRelays: ms.Relays,
-		ServerRegGCs: ms.RegGCs,
+		Transport:           cfg.transport,
+		N:                   cfg.n,
+		K:                   cfg.k,
+		Keys:                cfg.keys,
+		OfferedOpsS:         cfg.rate,
+		DurationS:           round2(cfg.duration.Seconds()),
+		ReadFrac:            cfg.readFrac,
+		ValueBytes:          cfg.vsize,
+		Inflight:            cfg.inflight,
+		Arrivals:            arrivals,
+		Completed:           completed,
+		Shed:                shed,
+		Errors:              errs,
+		GoodputOpsS:         round2(float64(completed) / elapsed.Seconds()),
+		ReadP50Us:           pctileUs(readLat, 50),
+		ReadP99Us:           pctileUs(readLat, 99),
+		WriteP50Us:          pctileUs(writeLat, 50),
+		WriteP99Us:          pctileUs(writeLat, 99),
+		ServerRelays:        ms.Relays,
+		ServerRegGCs:        ms.RegGCs,
+		ServerRegistrations: ms.Registrations,
+		ServerRegisterGCs:   ms.RegisterGCs,
 	}, nil
 }
 
@@ -457,7 +464,8 @@ func printResult(r runResult) {
 		r.Arrivals, r.Completed, r.Shed, r.Errors, r.GoodputOpsS)
 	fmt.Printf("  read  p50 %8.1fµs  p99 %8.1fµs\n", r.ReadP50Us, r.ReadP99Us)
 	fmt.Printf("  write p50 %8.1fµs  p99 %8.1fµs\n", r.WriteP50Us, r.WriteP99Us)
-	fmt.Printf("  servers: %d relays, %d registration GCs\n", r.ServerRelays, r.ServerRegGCs)
+	fmt.Printf("  servers: %d relays, %d registration GCs, %d registrations held, %d registers collected\n",
+		r.ServerRelays, r.ServerRegGCs, r.ServerRegistrations, r.ServerRegisterGCs)
 }
 
 // pctileUs returns the p-th percentile of sorted ns latencies in µs

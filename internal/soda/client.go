@@ -901,7 +901,7 @@ type readState struct {
 	sink    func(Delivery)
 	contact []Conn
 
-	initials []Tag  // server-indexed tag of the Initial delivery
+	initials []Tag // server-indexed tag of the Initial delivery
 	hasInit  []bool
 	nInit    int
 	lost     []bool // quarantined, crashed, or stream-dead servers

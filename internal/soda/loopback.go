@@ -3,6 +3,8 @@ package soda
 import (
 	"context"
 	"errors"
+	"fmt"
+	"path/filepath"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -33,8 +35,10 @@ var ErrServerDown = errors.New("soda: server is down")
 // alias server storage. Loopback is the substrate for deterministic
 // protocol tests and the sodademo binary.
 type Loopback struct {
-	mu      sync.Mutex // serializes the fault-injection mutators
-	servers []*Server
+	mu sync.Mutex // serializes the fault-injection mutators
+	// servers holds atomic pointers so Recover can swap in a freshly
+	// recovered state machine while conns keep reading lock-free.
+	servers []atomic.Pointer[Server]
 	// The fault state is read on every operation and every delivery, so
 	// the hot path samples it with atomics; mu only orders the mutators
 	// against each other.
@@ -43,26 +47,58 @@ type Loopback struct {
 	down      []atomic.Value // chan struct{}; closed by Crash, replaced by Restart
 	corrupt   []atomic.Pointer[func([]byte) []byte]
 	onDeliver atomic.Pointer[func(server int, key, readerID string, d Delivery)]
+	// Durable clusters only: per-node state directories and the options
+	// Recover re-opens them with.
+	durDir  string
+	durOpts []DurableOption
 }
 
 // NewLoopback builds an n-server in-process cluster.
 func NewLoopback(n int) *Loopback {
+	lb := newLoopbackShell(n)
+	for i := range lb.servers {
+		lb.servers[i].Store(NewServer(i))
+	}
+	return lb
+}
+
+// NewDurableLoopback builds an n-server cluster whose nodes persist
+// their state under dir (one "node-<i>" subdirectory each), so
+// PowerCut and Recover can exercise the WAL + snapshot machinery.
+func NewDurableLoopback(n int, dir string, opts ...DurableOption) (*Loopback, error) {
+	lb := newLoopbackShell(n)
+	lb.durDir, lb.durOpts = dir, opts
+	for i := range lb.servers {
+		s, err := NewDurableServer(i, lb.nodeDir(i), opts...)
+		if err != nil {
+			lb.CloseServers()
+			return nil, err
+		}
+		lb.servers[i].Store(s)
+	}
+	return lb, nil
+}
+
+func newLoopbackShell(n int) *Loopback {
 	lb := &Loopback{
-		servers: make([]*Server, n),
+		servers: make([]atomic.Pointer[Server], n),
 		crashed: make([]atomic.Bool, n),
 		hung:    make([]atomic.Bool, n),
 		down:    make([]atomic.Value, n),
 		corrupt: make([]atomic.Pointer[func([]byte) []byte], n),
 	}
-	for i := range lb.servers {
-		lb.servers[i] = NewServer(i)
+	for i := range lb.down {
 		lb.down[i].Store(make(chan struct{}))
 	}
 	return lb
 }
 
+func (l *Loopback) nodeDir(i int) string {
+	return filepath.Join(l.durDir, fmt.Sprintf("node-%d", i))
+}
+
 // Server exposes server i's state machine for inspection.
-func (l *Loopback) Server(i int) *Server { return l.servers[i] }
+func (l *Loopback) Server(i int) *Server { return l.servers[i].Load() }
 
 // Conns returns a fresh conn set for the cluster.
 func (l *Loopback) Conns() []Conn {
@@ -84,7 +120,7 @@ func (l *Loopback) Crash(i int) {
 		close(l.down[i].Load().(chan struct{}))
 	}
 	l.mu.Unlock()
-	l.servers[i].UnregisterAll()
+	l.servers[i].Load().UnregisterAll()
 }
 
 // Hang silently crashes server i: it stops answering but connections
@@ -93,7 +129,67 @@ func (l *Loopback) Hang(i int) {
 	l.mu.Lock()
 	l.hung[i].Store(true)
 	l.mu.Unlock()
-	l.servers[i].UnregisterAll()
+	l.servers[i].Load().UnregisterAll()
+}
+
+// PowerCut crashes durable server i the unclean way: fail-stop like
+// Crash, plus the WAL loses everything past its last fsync — exactly
+// what the disk would hold after the cord is pulled. Under FsyncAlways
+// nothing acknowledged is lost; under FsyncNone the active segment's
+// tail is. Recover brings the node back from that disk state.
+func (l *Loopback) PowerCut(i int) {
+	l.Crash(i)
+	if d := l.servers[i].Load().dur; d != nil {
+		d.powerCut()
+	}
+}
+
+// Recover replaces crashed server i with a fresh state machine
+// rebuilt from its node directory (snapshot load + WAL replay) — the
+// durable alternative to Restart's "storage as the crash left it" and
+// to Wipe + donor repair. The swapped-in server starts with no
+// registered readers, like any rebooted node.
+func (l *Loopback) Recover(i int) (*Server, error) {
+	if l.durDir == "" {
+		return nil, errors.New("soda: Recover on a non-durable loopback")
+	}
+	s, err := NewDurableServer(i, l.nodeDir(i), l.durOpts...)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.servers[i].Store(s)
+	if l.crashed[i].Load() {
+		l.down[i].Store(make(chan struct{}))
+		l.crashed[i].Store(false)
+	}
+	l.hung[i].Store(false)
+	l.mu.Unlock()
+	return s, nil
+}
+
+// TearWALTail shears n bytes off the end of server i's last WAL
+// segment, simulating a torn final write that a power cut left
+// mid-record. Call it between PowerCut and Recover.
+func (l *Loopback) TearWALTail(i int, n int64) error {
+	if l.durDir == "" {
+		return errors.New("soda: TearWALTail on a non-durable loopback")
+	}
+	return tearWALTail(l.nodeDir(i), n)
+}
+
+// CloseServers cleanly shuts down every durable server (final fsync,
+// files closed); memory-only clusters no-op.
+func (l *Loopback) CloseServers() error {
+	var first error
+	for i := range l.servers {
+		if s := l.servers[i].Load(); s != nil {
+			if err := s.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }
 
 // Restart rejoins a crashed or hung server i: future operations reach
@@ -203,7 +299,7 @@ func (c *loopConn) GetTag(ctx context.Context, key string) (Tag, error) {
 	if err := c.gate(ctx); err != nil {
 		return Tag{}, err
 	}
-	return c.lb.servers[c.idx].GetTag(key), nil
+	return c.lb.servers[c.idx].Load().GetTag(key), nil
 }
 
 func (c *loopConn) PutData(ctx context.Context, key string, t Tag, elem []byte, vlen int) error {
@@ -212,7 +308,7 @@ func (c *loopConn) PutData(ctx context.Context, key string, t Tag, elem []byte, 
 	}
 	// The wire would copy: the server takes ownership, and the caller
 	// (a pooled writer scratch) is free to reuse elem immediately.
-	c.lb.servers[c.idx].PutData(key, t, slices.Clone(elem), vlen)
+	c.lb.servers[c.idx].Load().PutData(key, t, slices.Clone(elem), vlen)
 	return nil
 }
 
@@ -227,7 +323,7 @@ func (c *loopConn) GetData(ctx context.Context, key, readerID string, deliver fu
 			fn(c.idx, key, readerID, d)
 		}
 	}
-	srv := c.lb.servers[c.idx]
+	srv := c.lb.servers[c.idx].Load()
 	down := c.lb.downCh(c.idx)
 	initial := srv.Register(key, readerID, wrap)
 	defer srv.Unregister(key, readerID)
@@ -248,8 +344,8 @@ func (c *loopConn) GetElem(ctx context.Context, key string) (Tag, []byte, int, e
 	if err := c.gate(ctx); err != nil {
 		return Tag{}, nil, 0, err
 	}
-	c.lb.servers[c.idx].metrics.getElems.Add(1)
-	t, elem, vlen := c.lb.servers[c.idx].Snapshot(key)
+	c.lb.servers[c.idx].Load().metrics.getElems.Add(1)
+	t, elem, vlen := c.lb.servers[c.idx].Load().Snapshot(key)
 	d := c.lb.transform(c.idx, Delivery{Server: c.idx, Tag: t, Elem: elem, VLen: vlen})
 	if len(d.Elem) > 0 && &d.Elem[0] == &elem[0] {
 		// No transform ran: copy out of the server's live buffer so a
@@ -263,7 +359,7 @@ func (c *loopConn) RepairPut(ctx context.Context, key string, t Tag, elem []byte
 	if err := c.gate(ctx); err != nil {
 		return false, err
 	}
-	return c.lb.servers[c.idx].RepairPut(key, t, slices.Clone(elem), vlen), nil
+	return c.lb.servers[c.idx].Load().RepairPut(key, t, slices.Clone(elem), vlen), nil
 }
 
 // Keys enumerates the server's written keys — the repair namespace.
@@ -271,5 +367,5 @@ func (c *loopConn) Keys(ctx context.Context) ([]string, error) {
 	if err := c.gate(ctx); err != nil {
 		return nil, err
 	}
-	return c.lb.servers[c.idx].Keys(), nil
+	return c.lb.servers[c.idx].Load().Keys(), nil
 }

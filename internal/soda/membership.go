@@ -205,6 +205,21 @@ func (m *Membership) MarkLive(i int) bool {
 	return true
 }
 
+// Readmit moves server i Suspect → Repairing → Live in one step: the
+// operator path for a node that recovered its own state from disk
+// (snapshot + WAL replay) and needs no donor repair. Safe only when
+// the disk provably holds everything the node acknowledged — i.e. the
+// node ran FsyncAlways; under a weaker fsync discipline the lost
+// active-segment tail must be healed, so leave the server Suspect and
+// let the Repairer readmit it. Returns false if i was not Suspect
+// (already live, or a repair loop claimed it first).
+func (m *Membership) Readmit(i int) bool {
+	if !m.MarkRepairing(i) {
+		return false
+	}
+	return m.MarkLive(i)
+}
+
 // AwaitLive blocks until server i is Live or ctx ends — how callers
 // wait out a repair they know is in flight.
 func (m *Membership) AwaitLive(ctx context.Context, i int) error {

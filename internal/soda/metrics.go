@@ -18,6 +18,11 @@ type Metrics struct {
 	relayDrops     atomic.Uint64
 	regGCs         atomic.Uint64
 	registerGCs    atomic.Uint64
+	walAppends     atomic.Uint64
+	walFailures    atomic.Uint64
+	walTornDrops   atomic.Uint64
+	snapshots      atomic.Uint64
+	recoveries     atomic.Uint64
 }
 
 // MetricsSnapshot is one consistent-enough picture of a server's
@@ -35,6 +40,11 @@ type MetricsSnapshot struct {
 	RelayDrops     uint64 // deliveries dropped on relay-queue overflow
 	RegGCs         uint64 // reader registrations garbage-collected
 	RegisterGCs    uint64 // empty registers removed from the namespace
+	WALAppends     uint64 // mutations appended to the write-ahead log
+	WALFailures    uint64 // WAL appends lost to disk errors (degraded durability)
+	WALTornDrops   uint64 // torn/corrupt records truncated at recovery
+	Snapshots      uint64 // namespace snapshots written (with log truncation)
+	Recoveries     uint64 // times this state was rebuilt from snapshot+WAL
 	Registers      uint64 // gauge: registers currently in the namespace
 	Registrations  uint64 // gauge: reader registrations currently held
 }
@@ -54,6 +64,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		RelayDrops:     m.relayDrops.Load(),
 		RegGCs:         m.regGCs.Load(),
 		RegisterGCs:    m.registerGCs.Load(),
+		WALAppends:     m.walAppends.Load(),
+		WALFailures:    m.walFailures.Load(),
+		WALTornDrops:   m.walTornDrops.Load(),
+		Snapshots:      m.snapshots.Load(),
+		Recoveries:     m.recoveries.Load(),
 	}
 }
 
@@ -73,6 +88,11 @@ func (s *MetricsSnapshot) Add(o MetricsSnapshot) {
 	s.RelayDrops += o.RelayDrops
 	s.RegGCs += o.RegGCs
 	s.RegisterGCs += o.RegisterGCs
+	s.WALAppends += o.WALAppends
+	s.WALFailures += o.WALFailures
+	s.WALTornDrops += o.WALTornDrops
+	s.Snapshots += o.Snapshots
+	s.Recoveries += o.Recoveries
 	s.Registers += o.Registers
 	s.Registrations += o.Registrations
 }

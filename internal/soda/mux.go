@@ -65,7 +65,7 @@ type MuxConn struct {
 	sess    *muxSession
 	dialing *dialAttempt
 	closed  bool
-	pending map[uint64]chan []byte  // unary waiters by request id
+	pending map[uint64]chan []byte    // unary waiters by request id
 	streams map[uint64]func(Delivery) // get-data sinks by request id
 }
 
@@ -380,6 +380,11 @@ func (c *MuxConn) GetData(ctx context.Context, key, readerID string, deliver fun
 	if err != nil {
 		return err
 	}
+	// A context that died between session setup and here must not open a
+	// server-side registration we would immediately have to tear down.
+	if err := ctx.Err(); err != nil {
+		return nil
+	}
 	req := c.reqSeq.Add(1)
 	c.mu.Lock()
 	if c.sess != s {
@@ -409,9 +414,19 @@ func (c *MuxConn) GetData(ctx context.Context, key, readerID string, deliver fun
 		c.mu.Unlock()
 		bp := frameForSend()
 		*bp = appendReaderDone(*bp, req)
-		c.writeBuf(s, bp) // best effort; a dead conn fails on its own
+		if err := c.writeBuf(s, bp); err != nil {
+			// Best effort failed: without the reader-done frame the server
+			// would keep relaying to a reader that left, so kill the session
+			// — its conn-close cleanup unregisters every stream at once.
+			c.teardown(s, err)
+		}
 		return nil
 	case <-s.done:
+		// Session death races the reader loop's stream sweep; deleting
+		// here too keeps the map from briefly pinning the closure.
+		c.mu.Lock()
+		delete(c.streams, req)
+		c.mu.Unlock()
 		return s.err
 	}
 }

@@ -558,3 +558,134 @@ func TestMultiKeyKillRepairRejoinSoak(t *testing.T) {
 		}
 	}
 }
+
+// waitNoReaders polls until the server holds zero registrations on
+// key — teardown is asynchronous with the client call returning.
+func waitNoReaders(t *testing.T, s *Server, key string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Readers(key) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server still holds %d registrations on %s", s.Readers(key), key)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestMuxStreamCleanupOnCancel: the baseline exit path — a reader
+// cancels mid-stream, the reader-done frame lands, and the server's
+// registration count returns to zero.
+func TestMuxStreamCleanupOnCancel(t *testing.T) {
+	ctx := testCtx(t)
+	addrs, servers := startTCPServers(t, 1)
+	c := TCPMuxConn(0, addrs[0])
+	defer c.Close()
+
+	subCtx, cancel := context.WithCancel(ctx)
+	got := make(chan Delivery, 16)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- c.GetData(subCtx, testKey, "r#cancel", func(d Delivery) { got <- d })
+	}()
+	<-got // initial delivery: the stream is live
+	if servers[0].core.Readers(testKey) != 1 {
+		t.Fatalf("registrations = %d, want 1", servers[0].core.Readers(testKey))
+	}
+	cancel()
+	if err := <-errCh; err != nil {
+		t.Fatalf("GetData after cancel = %v", err)
+	}
+	waitNoReaders(t, servers[0].core, testKey)
+	c.mu.Lock()
+	n := len(c.streams)
+	c.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("client still tracks %d streams after cancel", n)
+	}
+}
+
+// TestMuxStreamCleanupOnConnClose: closing the MuxConn mid-stream
+// (session fail() teardown) must unregister the reader server-side —
+// the conn close is the reader-done.
+func TestMuxStreamCleanupOnConnClose(t *testing.T) {
+	ctx := testCtx(t)
+	addrs, servers := startTCPServers(t, 1)
+	c := TCPMuxConn(0, addrs[0])
+
+	got := make(chan Delivery, 16)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- c.GetData(ctx, testKey, "r#close", func(d Delivery) { got <- d })
+	}()
+	<-got
+	c.Close()
+	if err := <-errCh; err == nil {
+		t.Fatal("GetData returned nil after its conn closed under it")
+	}
+	waitNoReaders(t, servers[0].core, testKey)
+	c.mu.Lock()
+	n := len(c.streams)
+	c.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("client still tracks %d streams after Close", n)
+	}
+}
+
+// TestMuxStreamCleanupOnServerLoss: the server dies mid-stream (the
+// reader errors out). The client must drop the stream entry instead
+// of pinning the sink until the next successful exchange.
+func TestMuxStreamCleanupOnServerLoss(t *testing.T) {
+	ctx := testCtx(t)
+	addrs, servers := startTCPServers(t, 1)
+	c := TCPMuxConn(0, addrs[0])
+	defer c.Close()
+
+	got := make(chan Delivery, 16)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- c.GetData(ctx, testKey, "r#loss", func(d Delivery) { got <- d })
+	}()
+	<-got
+	servers[0].Close() // kills every conn; the session dies
+	if err := <-errCh; err == nil {
+		t.Fatal("GetData returned nil after the server died under it")
+	}
+	if n := servers[0].core.Readers(testKey); n != 0 {
+		t.Fatalf("dead server's conn teardown left %d registrations", n)
+	}
+	c.mu.Lock()
+	n := len(c.streams)
+	c.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("client still tracks %d streams after session death", n)
+	}
+}
+
+// TestMuxGetDataDeadContextNeverRegisters: a context that is already
+// cancelled when GetData is called must not open a server-side
+// registration at all — there is no one to tear it down.
+func TestMuxGetDataDeadContextNeverRegisters(t *testing.T) {
+	ctx := testCtx(t)
+	addrs, servers := startTCPServers(t, 1)
+	c := TCPMuxConn(0, addrs[0])
+	defer c.Close()
+	// Prime the session so the cancelled call cannot hide behind a
+	// dial failure.
+	if _, err := c.GetTag(ctx, testKey); err != nil {
+		t.Fatalf("GetTag: %v", err)
+	}
+	dead, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := c.GetData(dead, testKey, "r#dead", func(Delivery) {}); err != nil {
+		t.Fatalf("GetData with a dead context = %v, want nil (the cancel exit)", err)
+	}
+	if n := servers[0].core.Readers(testKey); n != 0 {
+		t.Fatalf("dead-context GetData registered %d readers", n)
+	}
+	c.mu.Lock()
+	n := len(c.streams)
+	c.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("dead-context GetData left %d stream entries", n)
+	}
+}

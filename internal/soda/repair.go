@@ -338,6 +338,18 @@ func (rp *Repairer) repairKey(ctx context.Context, target int, key string) (Repa
 		return 0, fmt.Errorf("%w: key %q, %d donors", ErrRepairQuorum, key, len(donations))
 	}
 
+	// Probe the target before paying for a rebuild: a node that
+	// recovered its own state from disk often holds a tag strictly
+	// newer than anything k donors agree on, and shipping it a stale
+	// element just to have RepairPut bounce it wastes the decode and
+	// the transfer. Equal tags still go through RepairPut — reinstall
+	// overwrites a rotted element without raising the tag.
+	tc := rp.conns[connIndex(rp.conns, target)]
+	if tTag, _, _, tErr := tc.GetElem(ctx, key); tErr == nil && ver.tag.Less(tTag) {
+		rp.event(RepairEvent{Server: target, Key: key, Outcome: RepairAlreadyCurrent, Tag: ver.tag})
+		return RepairAlreadyCurrent, nil
+	}
+
 	var install []byte
 	var corrupt []int
 	outcome := RepairInstalled
@@ -359,7 +371,7 @@ func (rp *Repairer) repairKey(ctx context.Context, target int, key string) (Repa
 		}
 	}
 
-	accepted, err := rp.conns[connIndex(rp.conns, target)].RepairPut(ctx, key, ver.tag, install, ver.vlen)
+	accepted, err := tc.RepairPut(ctx, key, ver.tag, install, ver.vlen)
 	if err != nil {
 		return 0, fmt.Errorf("repair-put of key %q to server %d: %w", key, target, err)
 	}

@@ -66,6 +66,7 @@ type serverShard struct {
 type Server struct {
 	idx     int
 	metrics Metrics
+	dur     *durability // nil for a memory-only server
 	shards  [serverShardCount]serverShard
 }
 
@@ -190,6 +191,12 @@ func (s *Server) PutData(key string, t Tag, elem []byte, vlen int) {
 	r := s.lookup(key, true)
 	r.mu.Lock()
 	if r.tag.Less(t) {
+		// Log before apply, under the register lock: the WAL's per-key
+		// record order is the apply order, and with FsyncAlways the
+		// mutation is on disk before anyone can observe it applied.
+		if s.dur != nil {
+			s.dur.logMutation(walOpPut, key, t, elem, vlen)
+		}
 		r.tag, r.elem, r.vlen = t, elem, vlen
 	}
 	sinks := relayLocked(r, t)
@@ -228,6 +235,9 @@ func (s *Server) RepairPut(key string, t Tag, elem []byte, vlen int) bool {
 		r.mu.Unlock()
 		return false
 	}
+	if s.dur != nil {
+		s.dur.logMutation(walOpRepair, key, t, elem, vlen)
+	}
 	r.tag, r.elem, r.vlen = t, elem, vlen
 	sinks := relayLocked(r, t)
 	r.mu.Unlock()
@@ -254,16 +264,43 @@ func (s *Server) Wipe(key string) {
 		return
 	}
 	r.mu.Lock()
+	if s.dur != nil && r.tag != (Tag{}) {
+		s.dur.logMutation(walOpWipe, key, Tag{}, nil, 0)
+	}
 	r.tag, r.elem, r.vlen = Tag{}, nil, 0
 	r.mu.Unlock()
 	s.collect(key)
 }
 
-// WipeAll clears every key — the whole disk is gone.
+// WipeAll clears the whole disk: every register goes, including the
+// zero-tag ones Keys() never reports, and every registration with
+// them — a wholesale-replaced server holds nothing and relays to
+// nobody. (Iterating Keys() here would sweep only written keys,
+// leaving unwritten registers pinned by stale registrations; the
+// sweep walks the shards directly instead.)
 func (s *Server) WipeAll() {
-	for _, key := range s.Keys() {
-		s.Wipe(key)
+	var dropped uint64
+	var removed uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for key, r := range sh.regs {
+			r.mu.Lock()
+			if s.dur != nil && r.tag != (Tag{}) {
+				s.dur.logMutation(walOpWipe, key, Tag{}, nil, 0)
+			}
+			r.tag, r.elem, r.vlen = Tag{}, nil, 0
+			dropped += uint64(len(r.readers))
+			clear(r.readers) // zero the entries so sink references drop
+			r.readers = r.readers[:0]
+			r.mu.Unlock()
+			delete(sh.regs, key)
+			removed++
+		}
+		sh.mu.Unlock()
 	}
+	s.metrics.regGCs.Add(dropped)
+	s.metrics.registerGCs.Add(removed)
 }
 
 // Keys returns the ascending keys that currently hold a written
@@ -299,7 +336,18 @@ func (s *Server) Register(key, readerID string, sink func(Delivery)) Delivery {
 	defer r.mu.Unlock()
 	for i := range r.readers {
 		if r.readers[i].reader == readerID {
-			r.readers[i] = registration{reader: readerID, treq: r.tag, sink: sink}
+			// Re-registration (a read retrying after a transient failure)
+			// must not raise treq: the server's tag may have moved past
+			// the read's target since the first registration, and a treq
+			// above the target would filter out exactly the relay the
+			// read is waiting for. Keep min(existing treq, current tag) —
+			// the tag only drops below an old treq after a wipe, where
+			// the current tag is the honest floor.
+			treq := r.readers[i].treq
+			if r.tag.Less(treq) {
+				treq = r.tag
+			}
+			r.readers[i] = registration{reader: readerID, treq: treq, sink: sink}
 			return Delivery{Server: s.idx, Tag: r.tag, Elem: r.elem, VLen: r.vlen, Initial: true}
 		}
 	}

@@ -1,0 +1,151 @@
+package soda
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Snapshots checkpoint the whole (key, tag, elem, vlen) namespace so
+// the WAL can be truncated. The file format mirrors the wire encoding:
+//
+//	8-byte magic "SODASNP1"
+//	uint64 covered-lsn | uint32 entry count
+//	count × { key | tag | uint32 vlen | elem }
+//	uint32 CRC32-IEEE over everything after the magic
+//
+// A snapshot is written to a temp file, fsynced, and renamed into
+// place, so recovery only ever sees a complete old snapshot or a
+// complete new one. The covered lsn is the rotation point: replay
+// skips WAL records at or below it (their effects are in the
+// snapshot) and applies everything after.
+
+const (
+	snapshotName = "snapshot.soda"
+	snapshotTmp  = "snapshot.tmp"
+)
+
+var snapshotMagic = []byte("SODASNP1")
+
+// snapEntry is one register's durable state.
+type snapEntry struct {
+	key  string
+	tag  Tag
+	elem []byte
+	vlen int
+}
+
+// writeSnapshot atomically replaces dir's snapshot with one covering
+// WAL records up to and including lsn covered.
+func writeSnapshot(dir string, covered uint64, entries []snapEntry) (err error) {
+	tmp := filepath.Join(dir, snapshotTmp)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriterSize(f, 1<<16)
+	h := crc32.NewIEEE()
+	w := io.MultiWriter(bw, h) // the magic stays outside the sum
+	if _, err = bw.Write(snapshotMagic); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[:8], covered)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(entries)))
+	if _, err = w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var scratch []byte
+	for _, e := range entries {
+		scratch = appendKey(scratch[:0], e.key)
+		scratch = appendTag(scratch, e.tag)
+		scratch = binary.BigEndian.AppendUint32(scratch, uint32(e.vlen))
+		scratch = appendBytes(scratch, e.elem)
+		if _, err = w.Write(scratch); err != nil {
+			return err
+		}
+	}
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], h.Sum32())
+	if _, err = bw.Write(sum[:]); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	err = f.Close()
+	f = nil
+	if err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, filepath.Join(dir, snapshotName)); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// readSnapshot loads dir's snapshot. A missing file is not an error —
+// it returns (0, nil, nil), the "replay the whole log" case. A present
+// but corrupt snapshot is fatal: it was written atomically, so damage
+// means the disk lies and silently serving a partial namespace would
+// break the tag floor.
+func readSnapshot(dir string) (uint64, []snapEntry, error) {
+	data, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil, nil
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(data) < len(snapshotMagic)+16 || !bytes.Equal(data[:len(snapshotMagic)], snapshotMagic) {
+		return 0, nil, errors.New("soda: snapshot: bad magic or truncated")
+	}
+	body := data[len(snapshotMagic) : len(data)-4]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(data[len(data)-4:]) {
+		return 0, nil, errors.New("soda: snapshot: checksum mismatch")
+	}
+	c := &cursor{b: body}
+	covered := c.u64()
+	count := c.u32()
+	entries := make([]snapEntry, 0, min(int(count), 1024))
+	for i := uint32(0); i < count && !c.failed; i++ {
+		var e snapEntry
+		e.key = c.key()
+		e.tag = c.tag()
+		e.vlen = int(c.u32())
+		e.elem = c.bytes()
+		entries = append(entries, e)
+	}
+	if err := c.err("snapshot"); err != nil {
+		return 0, nil, fmt.Errorf("soda: snapshot: %w", err)
+	}
+	return covered, entries, nil
+}
+
+// syncDir best-effort fsyncs a directory so a rename is durable;
+// filesystems that refuse directory syncs lose nothing but the
+// guarantee they never offered.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

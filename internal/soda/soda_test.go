@@ -676,3 +676,183 @@ func TestConfigValidation(t *testing.T) {
 		t.Fatal("duplicate server indices accepted")
 	}
 }
+
+// TestReregisterKeepsTreq pins the re-registration rule: a reader
+// registering again (a read retrying after a transient failure) must
+// keep min(existing treq, current tag), not jump to the server's
+// current tag — a raised treq would filter out exactly the relay the
+// pending read is waiting for.
+func TestReregisterKeepsTreq(t *testing.T) {
+	s := NewServer(0)
+	t1, t2, t9 := Tag{TS: 1, Writer: "w"}, Tag{TS: 2, Writer: "w"}, Tag{TS: 9, Writer: "w"}
+	s.PutData(testKey, t1, []byte{1}, 1)
+	s.Register(testKey, "r#1", func(Delivery) {}) // treq = t1
+
+	// The server's tag races ahead of the registration.
+	s.PutData(testKey, t9, []byte{9}, 1)
+
+	// Retry: same reader registers again with a fresh sink.
+	got := make(chan Delivery, 4)
+	s.Register(testKey, "r#1", func(d Delivery) { got <- d })
+
+	// A put under t2 does not install (t2 < t9) but still relays — and
+	// the re-registered reader, whose treq must still be t1, hears it.
+	s.PutData(testKey, t2, []byte{2}, 1)
+	select {
+	case d := <-got:
+		if d.Tag != t2 {
+			t.Fatalf("relayed %v, want %v", d.Tag, t2)
+		}
+	default:
+		t.Fatalf("re-registration raised treq: the t2 relay was filtered out")
+	}
+}
+
+// TestReadCompletesThroughReregistration is the end-to-end version: a
+// pending read whose register retries on a server that has since seen
+// a newer tag must still hear the relay that completes it.
+func TestReadCompletesThroughReregistration(t *testing.T) {
+	ctx := testCtx(t)
+	codec, lb := newCluster(t, 5, 3)
+	conns := lb.Conns()
+
+	// v1 everywhere, then t2 half-applied to servers 0 and 1 only.
+	w := mustWriter(t, "w1", codec, lb.Conns())
+	if _, err := w.Write(ctx, testKey, []byte("v1")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	t2 := Tag{TS: 2, Writer: "w2"}
+	v2 := []byte("completed by a relay after a re-registration")
+	shards2, err := codec.EncodeValue(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1} {
+		if err := conns[i].PutData(ctx, testKey, t2, shards2[i], len(v2)); err != nil {
+			t.Fatalf("PutData(%d): %v", i, err)
+		}
+	}
+
+	// A capture conn on server 2 remembers the reader's registration so
+	// the test can replay it, exactly as a retrying read leg would.
+	cap2 := &captureConn{Conn: conns[2]}
+	rconns := lb.Conns()
+	rconns[2] = cap2
+	// f=0: all five initials required, so the read's target is t2 and
+	// it blocks on the third element.
+	r := mustReader(t, "r1", codec, rconns, WithReaderFaults(0))
+	type outcome struct {
+		res ReadResult
+		err error
+	}
+	resCh := make(chan outcome, 1)
+	go func() {
+		res, err := r.Read(ctx, testKey)
+		resCh <- outcome{res, err}
+	}()
+	for i := 0; i < 5; i++ {
+		for lb.Server(i).Readers(testKey) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	select {
+	case o := <-resCh:
+		t.Fatalf("read completed with 2/3 elements: %v %v", o.res, o.err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Server 2's tag races past the read's target...
+	t9 := Tag{TS: 9, Writer: "w9"}
+	if err := conns[2].PutData(ctx, testKey, t9, shards2[2], len(v2)); err != nil {
+		t.Fatalf("PutData(t9): %v", err)
+	}
+	// ...and the reader's leg on server 2 re-registers (the retry).
+	// The buggy treq reset would now filter every relay below t9,
+	// starving the read forever.
+	readerID, deliver := cap2.captured()
+	deliver(lb.Server(2).Register(testKey, readerID, deliver))
+
+	// The half-applied write finally reaches server 2. Its relay —
+	// tag t2, below the server's t9 — is what must complete the read.
+	if err := conns[2].PutData(ctx, testKey, t2, shards2[2], len(v2)); err != nil {
+		t.Fatalf("PutData(t2): %v", err)
+	}
+	select {
+	case o := <-resCh:
+		if o.err != nil {
+			t.Fatalf("Read: %v", o.err)
+		}
+		if o.res.Tag != t2 || !bytes.Equal(o.res.Value, v2) {
+			t.Fatalf("Read = %v %q, want %v %q", o.res.Tag, o.res.Value, t2, v2)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("read starved after re-registration: the completing relay was filtered")
+	}
+}
+
+// captureConn wraps a Conn and remembers the last GetData
+// registration so tests can replay it.
+type captureConn struct {
+	Conn
+	mu       sync.Mutex
+	readerID string
+	deliver  func(Delivery)
+}
+
+func (c *captureConn) GetData(ctx context.Context, key, readerID string, deliver func(Delivery)) error {
+	c.mu.Lock()
+	c.readerID, c.deliver = readerID, deliver
+	c.mu.Unlock()
+	return c.Conn.GetData(ctx, key, readerID, deliver)
+}
+
+func (c *captureConn) captured() (string, func(Delivery)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.deliver == nil {
+		panic("captureConn: no registration captured")
+	}
+	return c.readerID, c.deliver
+}
+
+// TestWipeAllSweepsUnwrittenRegisters: WipeAll models wholesale node
+// replacement, so it must remove every register — including zero-tag
+// ones Keys() never reports, which only exist to hold registrations —
+// and drop those registrations with them.
+func TestWipeAllSweepsUnwrittenRegisters(t *testing.T) {
+	s := NewServer(0)
+	t1 := Tag{TS: 1, Writer: "w"}
+	s.PutData("written", t1, []byte{1}, 1)
+	relayed := make(chan Delivery, 4)
+	s.Register("unwritten", "r#1", func(d Delivery) { relayed <- d })
+	if s.Readers("unwritten") != 1 {
+		t.Fatalf("registrations on unwritten = %d, want 1", s.Readers("unwritten"))
+	}
+
+	s.WipeAll()
+
+	if keys := s.Keys(); len(keys) != 0 {
+		t.Fatalf("keys after WipeAll = %v", keys)
+	}
+	if n := s.Readers("unwritten"); n != 0 {
+		t.Fatalf("WipeAll left %d registrations on the unwritten register", n)
+	}
+	snap := s.MetricsSnapshot()
+	if snap.Registers != 0 {
+		t.Fatalf("Registers gauge = %d after WipeAll, want 0", snap.Registers)
+	}
+	if snap.RegisterGCs != 2 {
+		t.Fatalf("RegisterGCs = %d, want 2 (written + unwritten)", snap.RegisterGCs)
+	}
+	if snap.RegGCs != 1 {
+		t.Fatalf("RegGCs = %d, want 1 (the dropped registration)", snap.RegGCs)
+	}
+	// The replaced node relays to nobody: a new put must not reach the
+	// pre-wipe sink.
+	s.PutData("unwritten", t1, []byte{2}, 1)
+	select {
+	case d := <-relayed:
+		t.Fatalf("stale registration heard %v after WipeAll", d.Tag)
+	default:
+	}
+}

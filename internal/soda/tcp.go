@@ -53,6 +53,11 @@ func ListenAndServe(core *Server, addr string) (*NetServer, error) {
 // Addr returns the listener's address, for building client conns.
 func (ns *NetServer) Addr() string { return ns.ln.Addr().String() }
 
+// Core exposes the state machine being served — the handle a process
+// supervisor needs to Sync, SnapshotNow, or Close a durable server
+// around the transport's lifecycle.
+func (ns *NetServer) Core() *Server { return ns.core }
+
 // NumConns returns the number of client connections currently open —
 // how tests prove the mux transport really multiplexes instead of
 // dialing.
