@@ -3,7 +3,7 @@ GO ?= go
 # The benchmark selection shared by `make bench` and `make bench-json`.
 BENCH_PATTERN := MulAddSlice|MulSlice|MulAddMulti|Encode|Reconstruct|Verify|DecodeErrors
 
-.PHONY: all build build-cross test test-durability vet bench bench-smoke bench-json bench-soda-json bench-soda-smoke race fuzz
+.PHONY: all build build-cross test test-durability test-reconfig vet bench bench-smoke bench-json bench-soda-json bench-soda-smoke race fuzz
 
 all: vet build test race
 
@@ -27,6 +27,13 @@ test:
 # race detector.
 test-durability:
 	$(GO) test -race -run 'WAL|Snapshot|Recover|PowerCut|Fsync|Torn|Durable' ./internal/soda/
+
+# test-reconfig is the online-reconfiguration lane: epoch admission,
+# cross-epoch quorum rejection, live grow/shrink migration, the WAL'd
+# epoch state surviving power cuts, and the grow-then-shrink soak with
+# concurrent epoch-following writers/readers — under the race detector.
+test-reconfig:
+	$(GO) test -race -run 'Reconfig|Epoch' ./internal/soda/
 
 race:
 	$(GO) test -race ./...

@@ -55,6 +55,13 @@ type runConfig struct {
 	inflight  int // bounded in-flight window (worker count + queue)
 	prewrite  bool
 	seed      int64
+	// kill enables the fault-injection mode: the cluster is durable
+	// (per-node WAL), and a kill loop power-cuts one server at a time
+	// mid-load, recovers it from its disk, and heals it through the
+	// quarantine → donor-repair path while the generator keeps
+	// offering. Healing lag (power cut → back Live) is reported as
+	// percentiles. Loopback transport only.
+	kill bool
 }
 
 // runResult is one load run's outcome; the field set is the JSON
@@ -85,6 +92,17 @@ type runResult struct {
 	// empty registers collected during it.
 	ServerRegistrations uint64 `json:"server_registrations"`
 	ServerRegisterGCs   uint64 `json:"server_register_gcs"`
+	// Fault-injection accounting, populated by -kill runs and present
+	// (zero) in every run so the schema never shifts: servers killed,
+	// healing lag from power cut to readmission, and the cluster-wide
+	// quarantine/repair counters behind it.
+	Kills                int64   `json:"kills"`
+	HealP50Ms            float64 `json:"heal_p50_ms"`
+	HealP99Ms            float64 `json:"heal_p99_ms"`
+	ServerQuarantines    uint64  `json:"server_quarantines"`
+	ServerRepairPuts     uint64  `json:"server_repair_puts"`
+	ServerRepairInstalls uint64  `json:"server_repair_installs"`
+	ServerRecoveries     uint64  `json:"server_recoveries"`
 }
 
 type suiteOutput struct {
@@ -107,6 +125,7 @@ func main() {
 		readFrac  = flag.Float64("read-frac", 0.5, "fraction of arrivals that are reads")
 		vsize     = flag.Int("vsize", 128, "value size in bytes")
 		inflight  = flag.Int("inflight", 256, "bounded in-flight window; arrivals beyond it are shed")
+		kill      = flag.Bool("kill", false, "power-cut/recover/repair servers mid-run (loopback only; durable nodes)")
 		seed      = flag.Int64("seed", 1, "op-mix RNG seed")
 		suite     = flag.Bool("suite", false, "run the benchmark suite and write -out")
 		out       = flag.String("out", "BENCH_soda.json", "suite output file")
@@ -153,7 +172,7 @@ func main() {
 	cfg := runConfig{
 		transport: *transport, n: *n, k: *k, keys: *keys, rate: *rate,
 		duration: *duration, readFrac: *readFrac, vsize: *vsize,
-		inflight: *inflight, prewrite: *readFrac > 0, seed: *seed,
+		inflight: *inflight, prewrite: *readFrac > 0, seed: *seed, kill: *kill,
 	}
 	if *suite {
 		if err := runSuite(cfg, *out); err != nil {
@@ -196,6 +215,17 @@ func runSuite(base runConfig, outPath string) error {
 			rate: tcpRate, duration: tcpDur, readFrac: 0,
 			vsize: base.vsize, inflight: 64, seed: base.seed,
 		}},
+		// The survival run: durable loopback nodes at a modest rate with
+		// the kill loop power-cutting and donor-repairing servers
+		// mid-load. Goodput through the holes and healing lag are the
+		// numbers; the quarantine/repair counters prove the heal path
+		// actually ran.
+		{"loopback/kill-repair", runConfig{
+			transport: "loopback", n: base.n, k: base.k, keys: tcpKeys,
+			rate: math.Min(base.rate, 2000), duration: base.duration,
+			readFrac: base.readFrac, vsize: base.vsize, inflight: 128,
+			prewrite: base.readFrac > 0, seed: base.seed, kill: true,
+		}},
 	}
 
 	res := suiteOutput{
@@ -227,6 +257,7 @@ func runSuite(base runConfig, outPath string) error {
 	res.Derived["dial_over_mux_write_p50"] = round2(ratio(dial.WriteP50Us, mux.WriteP50Us))
 	res.Derived["dial_over_mux_write_p99"] = round2(ratio(dial.WriteP99Us, mux.WriteP99Us))
 	res.Derived["loopback_goodput_kops_s"] = round2(res.Runs["loopback/namespace"].GoodputOpsS / 1000)
+	res.Derived["kill_heal_p99_ms"] = res.Runs["loopback/kill-repair"].HealP99Ms
 
 	buf, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -240,23 +271,64 @@ func runSuite(base runConfig, outPath string) error {
 }
 
 // cluster is a running server set behind a []Conn, whatever the
-// transport.
+// transport. Kill-mode clusters also carry the loopback (for
+// PowerCut/Recover) and the shared membership.
 type cluster struct {
 	conns   []soda.Conn
 	servers []*soda.Server
+	lb      *soda.Loopback
+	m       *soda.Membership
 	close   func()
+}
+
+// metrics sums the cluster-wide counters. Read through the loopback
+// when there is one: Recover swaps fresh state machines in, and the
+// startup slice would keep counting the dead ones.
+func (c *cluster) metrics() soda.MetricsSnapshot {
+	var ms soda.MetricsSnapshot
+	if c.lb != nil {
+		for i := 0; i < c.lb.Size(); i++ {
+			ms.Add(c.lb.Server(i).MetricsSnapshot())
+		}
+		return ms
+	}
+	for _, s := range c.servers {
+		ms.Add(s.MetricsSnapshot())
+	}
+	return ms
 }
 
 func startCluster(cfg runConfig) (*cluster, error) {
 	switch cfg.transport {
 	case "loopback":
+		if cfg.kill {
+			// Durable nodes (interval fsync keeps the generator honest
+			// about protocol cost, not disk cost) so a power-cut node has
+			// a disk to come back from.
+			dir, err := os.MkdirTemp("", "sodaload-kill-")
+			if err != nil {
+				return nil, err
+			}
+			lb, err := soda.NewDurableLoopback(cfg.n, dir, soda.WithFsyncEvery(5*time.Millisecond))
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			return &cluster{conns: lb.Conns(), lb: lb, m: soda.NewMembership(cfg.n), close: func() {
+				lb.CloseServers()
+				os.RemoveAll(dir)
+			}}, nil
+		}
 		lb := soda.NewLoopback(cfg.n)
 		servers := make([]*soda.Server, cfg.n)
 		for i := range servers {
 			servers[i] = lb.Server(i)
 		}
-		return &cluster{conns: lb.Conns(), servers: servers, close: func() {}}, nil
+		return &cluster{conns: lb.Conns(), servers: servers, lb: lb, close: func() {}}, nil
 	case "tcp-mux", "tcp-dial":
+		if cfg.kill {
+			return nil, fmt.Errorf("-kill needs the loopback transport (PowerCut/Recover are in-process faults)")
+		}
 		servers := make([]*soda.Server, cfg.n)
 		nets := make([]*soda.NetServer, cfg.n)
 		addrs := make([]string, cfg.n)
@@ -301,11 +373,19 @@ func runLoad(cfg runConfig) (runResult, error) {
 	if err != nil {
 		return runResult{}, err
 	}
-	w, err := soda.NewWriter("load-w", codec, cl.conns)
+	var wopts []soda.WriterOption
+	var ropts []soda.ReaderOption
+	if cl.m != nil {
+		// Kill mode: membership-aware clients treat the quarantined
+		// server as already failed instead of waiting out its timeout.
+		wopts = append(wopts, soda.WithWriterMembership(cl.m))
+		ropts = append(ropts, soda.WithReaderMembership(cl.m))
+	}
+	w, err := soda.NewWriter("load-w", codec, cl.conns, wopts...)
 	if err != nil {
 		return runResult{}, err
 	}
-	r, err := soda.NewReader("load-r", codec, cl.conns)
+	r, err := soda.NewReader("load-r", codec, cl.conns, ropts...)
 	if err != nil {
 		return runResult{}, err
 	}
@@ -384,13 +464,67 @@ func runLoad(cfg runConfig) (runResult, error) {
 		}(&stats[wi])
 	}
 
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+
+	// The kill loop, when enabled: rotate through victims, power-cut
+	// each mid-load, recover it from its own disk, and heal it through
+	// quarantine → donor repair while the generator keeps offering.
+	// Healing lag is the operator-visible window: power cut to back
+	// Live.
+	var (
+		kills    int64
+		healLags []int64 // ns
+		kwg      sync.WaitGroup
+	)
+	if cfg.kill {
+		rp, err := soda.NewRepairer(codec, cl.conns, cl.m,
+			soda.WithRepairBackoff(soda.Backoff{Base: 5 * time.Millisecond, Max: 100 * time.Millisecond}))
+		if err != nil {
+			return runResult{}, err
+		}
+		pause := cfg.duration / 4
+		downFor := min(cfg.duration/10, 150*time.Millisecond)
+		kwg.Add(1)
+		go func() {
+			defer kwg.Done()
+			victim := 1
+			for {
+				time.Sleep(pause)
+				// A cycle started too close to the deadline would measure
+				// healing of an idle cluster; stop instead.
+				if time.Now().Add(pause).After(deadline) || ctx.Err() != nil {
+					return
+				}
+				t0 := time.Now()
+				cl.lb.PowerCut(victim)
+				cl.m.MarkSuspect(victim, soda.ErrServerDown)
+				time.Sleep(downFor)
+				if _, err := cl.lb.Recover(victim); err != nil {
+					fmt.Fprintf(os.Stderr, "sodaload: kill loop: recover server %d: %v\n", victim, err)
+					return
+				}
+				for ctx.Err() == nil {
+					if _, err := rp.RepairOnce(ctx, victim); err == nil {
+						break
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+				if !cl.m.IsLive(victim) {
+					return
+				}
+				kills++
+				healLags = append(healLags, time.Since(t0).Nanoseconds())
+				victim = victim%(cfg.n-1) + 1 // rotate 1..n-1; index 0 stays up
+			}
+		}()
+	}
+
 	// The open loop: arrival i is due at start + i/rate, whether or not
 	// anything has completed. Sleeps only when ahead; when behind, it
 	// dispatches the backlog as fast as the shed check allows.
 	rng := rand.New(rand.NewSource(cfg.seed))
 	interval := time.Duration(float64(time.Second) / cfg.rate)
-	start := time.Now()
-	deadline := start.Add(cfg.duration)
 	var arrivals, shed int64
 	for i := int64(0); ; i++ {
 		sched := start.Add(time.Duration(i) * interval)
@@ -414,6 +548,7 @@ func runLoad(cfg runConfig) (runResult, error) {
 	}
 	close(jobs)
 	wwg.Wait()
+	kwg.Wait()
 	elapsed := time.Since(start)
 
 	var readLat, writeLat []int64
@@ -427,10 +562,12 @@ func runLoad(cfg runConfig) (runResult, error) {
 	sort.Slice(writeLat, func(i, j int) bool { return writeLat[i] < writeLat[j] })
 	completed := int64(len(readLat) + len(writeLat))
 
-	var ms soda.MetricsSnapshot
-	for _, s := range cl.servers {
-		ms.Add(s.MetricsSnapshot())
+	sort.Slice(healLags, func(i, j int) bool { return healLags[i] < healLags[j] })
+	var quarantines uint64
+	if cl.m != nil {
+		quarantines = cl.m.Quarantines()
 	}
+	ms := cl.metrics()
 	return runResult{
 		Transport:           cfg.transport,
 		N:                   cfg.n,
@@ -454,6 +591,14 @@ func runLoad(cfg runConfig) (runResult, error) {
 		ServerRegGCs:        ms.RegGCs,
 		ServerRegistrations: ms.Registrations,
 		ServerRegisterGCs:   ms.RegisterGCs,
+
+		Kills:                kills,
+		HealP50Ms:            pctileMs(healLags, 50),
+		HealP99Ms:            pctileMs(healLags, 99),
+		ServerQuarantines:    quarantines,
+		ServerRepairPuts:     ms.RepairPuts,
+		ServerRepairInstalls: ms.RepairInstalls,
+		ServerRecoveries:     ms.Recoveries,
 	}, nil
 }
 
@@ -466,6 +611,10 @@ func printResult(r runResult) {
 	fmt.Printf("  write p50 %8.1fµs  p99 %8.1fµs\n", r.WriteP50Us, r.WriteP99Us)
 	fmt.Printf("  servers: %d relays, %d registration GCs, %d registrations held, %d registers collected\n",
 		r.ServerRelays, r.ServerRegGCs, r.ServerRegistrations, r.ServerRegisterGCs)
+	if r.Kills > 0 {
+		fmt.Printf("  kills %d  heal p50 %.1fms  p99 %.1fms  (%d quarantines, %d repair-puts, %d installed, %d recoveries)\n",
+			r.Kills, r.HealP50Ms, r.HealP99Ms, r.ServerQuarantines, r.ServerRepairPuts, r.ServerRepairInstalls, r.ServerRecoveries)
+	}
 }
 
 // pctileUs returns the p-th percentile of sorted ns latencies in µs
@@ -483,6 +632,12 @@ func pctileUs(sorted []int64, p float64) float64 {
 		idx = len(sorted) - 1
 	}
 	return round2(float64(sorted[idx]) / 1000)
+}
+
+// pctileMs is pctileUs for coarser (healing-lag) durations: the p-th
+// percentile of sorted ns values in ms.
+func pctileMs(sorted []int64, p float64) float64 {
+	return round2(pctileUs(sorted, p) / 1000)
 }
 
 func ratio(a, b float64) float64 {

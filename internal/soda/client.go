@@ -52,6 +52,14 @@ type Conn interface {
 	Keys(ctx context.Context) ([]string, error)
 }
 
+// Reconfigurer is the optional Conn capability a reconfiguration
+// coordinator needs: driving a server's epoch state machine (status,
+// seal, activate). All three built-in transports implement it; a Conn
+// that does not cannot be part of a live geometry flip.
+type Reconfigurer interface {
+	Reconfig(ctx context.Context, op ReconfigOp, target uint64, n, k int) (EpochStatus, error)
+}
+
 // validateConns checks that conns cover each shard index of an
 // n-server cluster exactly once.
 func validateConns(conns []Conn, n int) error {
@@ -123,7 +131,7 @@ func quorum(ctx context.Context, conns []Conn, need int, op func(context.Context
 					firstErr = err
 				}
 				if errs++; errs > len(conns)-need {
-					return fmt.Errorf("%w: %d of %d servers failed (need %d): %v",
+					return fmt.Errorf("%w: %d of %d servers failed (need %d): %w",
 						ErrUnavailable, errs, len(conns), need, firstErr)
 				}
 			}
@@ -404,6 +412,13 @@ func (wc *writeCall) run() {
 // may overlap (one server can be receiving its element while a
 // straggler is still answering get-tag); the protocol never needed
 // the phases globally barriered, only the mint to follow n-f tags.
+//
+// On a put-data-phase failure the minted tag is returned alongside the
+// error: the attempt may have installed elements under it on fewer
+// than a quorum of servers (a half-applied put, the state a writer
+// crash leaves), and callers that retry with a fresh tag — or audit
+// histories — need to know which tag was abandoned. A zero tag with an
+// error means the attempt never minted.
 func (w *Writer) Write(ctx context.Context, key string, value []byte) (Tag, error) {
 	if err := validateKey(key); err != nil {
 		return Tag{}, fmt.Errorf("%w: %v", ErrConfig, err)
@@ -449,7 +464,7 @@ func (w *Writer) Write(ctx context.Context, key string, value []byte) (Tag, erro
 		case wc.errs > wc.allowed:
 			errs, firstErr := wc.errs, wc.firstErr
 			wc.mu.Unlock()
-			return Tag{}, fmt.Errorf("soda: get-tag: %w: %d of %d servers failed (need %d): %v",
+			return Tag{}, fmt.Errorf("soda: get-tag: %w: %d of %d servers failed (need %d): %w",
 				ErrUnavailable, errs, len(live), wc.need, firstErr)
 		}
 		wc.mu.Unlock()
@@ -463,7 +478,7 @@ func (w *Writer) Write(ctx context.Context, key string, value []byte) (Tag, erro
 		select {
 		case <-wc.wake:
 		case <-ctx.Done():
-			return Tag{}, ctx.Err()
+			return minted, ctx.Err()
 		}
 		wc.mu.Lock()
 		switch {
@@ -473,7 +488,7 @@ func (w *Writer) Write(ctx context.Context, key string, value []byte) (Tag, erro
 		case wc.aerrs > wc.allowed:
 			aerrs, ackErr := wc.aerrs, wc.ackErr
 			wc.mu.Unlock()
-			return Tag{}, fmt.Errorf("soda: put-data %v: %w: %d of %d servers failed (need %d): %v",
+			return minted, fmt.Errorf("soda: put-data %v: %w: %d of %d servers failed (need %d): %w",
 				minted, ErrUnavailable, aerrs, len(live), wc.need, ackErr)
 		}
 		wc.mu.Unlock()
@@ -984,7 +999,7 @@ func (st *readState) lose(server int, cause error) {
 	// servers; initials already in hand count even if their server
 	// died since.
 	if !st.tTargetSet && st.nInit+aliveNew < n-st.r.f {
-		st.finish(ReadResult{}, fmt.Errorf("%w: server %d lost (%v); %d initial responses reachable, need %d",
+		st.finish(ReadResult{}, fmt.Errorf("%w: server %d lost (%w); %d initial responses reachable, need %d",
 			ErrUnavailable, server, cause, st.nInit+aliveNew, n-st.r.f))
 		return
 	}
@@ -1013,7 +1028,7 @@ func (st *readState) lose(server int, cause error) {
 		}
 	}
 	if achievable < need {
-		st.finish(ReadResult{}, fmt.Errorf("%w: server %d lost (%v); at most %d elements of any version remain reachable, need %d",
+		st.finish(ReadResult{}, fmt.Errorf("%w: server %d lost (%w); at most %d elements of any version remain reachable, need %d",
 			ErrUnavailable, server, cause, achievable, need))
 	}
 }

@@ -35,9 +35,10 @@ type opRec struct {
 }
 
 type history struct {
-	mu   sync.Mutex
-	tick atomic.Uint64
-	ops  []opRec
+	mu     sync.Mutex
+	tick   atomic.Uint64
+	ops    []opRec
+	maybes map[Tag]string
 }
 
 func (h *history) begin() uint64 { return h.tick.Add(1) }
@@ -46,6 +47,22 @@ func (h *history) end(write bool, inv uint64, tag Tag, value string) {
 	resp := h.tick.Add(1)
 	h.mu.Lock()
 	h.ops = append(h.ops, opRec{write: write, inv: inv, resp: resp, tag: tag, value: value})
+	h.mu.Unlock()
+}
+
+// abandoned records a write attempt that minted tag for value but
+// failed before its quorum and was retried under a fresh tag. Such a
+// half-applied put has no response event — it is concurrent with
+// everything after its invocation — so a read MAY legally return its
+// tag (with exactly its value), and the real-time write/write and
+// write/read orderings do not apply to it. Reads that return it still
+// participate in read monotonicity through their tags.
+func (h *history) abandoned(tag Tag, value string) {
+	h.mu.Lock()
+	if h.maybes == nil {
+		h.maybes = make(map[Tag]string)
+	}
+	h.maybes[tag] = value
 	h.mu.Unlock()
 }
 
@@ -69,10 +86,16 @@ func (h *history) check(t *testing.T) {
 			if r.value != "" {
 				t.Fatalf("zero-tag read returned %q", r.value)
 			}
-		} else if want, ok := written[r.tag]; !ok {
+		} else if want, ok := written[r.tag]; ok {
+			if r.value != want {
+				t.Fatalf("read at %v returned %q, want %q", r.tag, r.value, want)
+			}
+		} else if want, ok := h.maybes[r.tag]; ok {
+			if r.value != want {
+				t.Fatalf("read at abandoned %v returned %q, want %q", r.tag, r.value, want)
+			}
+		} else {
 			t.Fatalf("read returned unwritten tag %v", r.tag)
-		} else if r.value != want {
-			t.Fatalf("read at %v returned %q, want %q", r.tag, r.value, want)
 		}
 	}
 	for _, a := range h.ops {

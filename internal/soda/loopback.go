@@ -100,11 +100,25 @@ func (l *Loopback) nodeDir(i int) string {
 // Server exposes server i's state machine for inspection.
 func (l *Loopback) Server(i int) *Server { return l.servers[i].Load() }
 
-// Conns returns a fresh conn set for the cluster.
-func (l *Loopback) Conns() []Conn {
-	conns := make([]Conn, len(l.servers))
+// Size returns the number of server endpoints in the loopback. A
+// configuration may use any prefix of them: endpoints beyond the
+// active config's n are standby nodes a grow-reconfiguration can
+// bring in.
+func (l *Loopback) Size() int { return len(l.servers) }
+
+// Conns returns a fresh conn set for the cluster, stamped with epoch 0
+// (the construction-time configuration).
+func (l *Loopback) Conns() []Conn { return l.ConnsAt(0, len(l.servers)) }
+
+// ConnsAt returns conns for the first n servers, each stamping the
+// given configuration epoch on every operation — the conn set for one
+// epoch's Config. Reconfiguration to a different member count builds a
+// new conn set rather than mutating an old one, so an operation's
+// quorum can only ever carry its own config's epoch.
+func (l *Loopback) ConnsAt(epoch uint64, n int) []Conn {
+	conns := make([]Conn, n)
 	for i := range conns {
-		conns[i] = &loopConn{lb: l, idx: i}
+		conns[i] = &loopConn{lb: l, idx: i, epoch: epoch}
 	}
 	return conns
 }
@@ -269,10 +283,12 @@ func (l *Loopback) hook() func(server int, key, readerID string, d Delivery) {
 	return nil
 }
 
-// loopConn is the in-process Conn for one server.
+// loopConn is the in-process Conn for one server, stamped with the
+// configuration epoch its operations present.
 type loopConn struct {
-	lb  *Loopback
-	idx int
+	lb    *Loopback
+	idx   int
+	epoch uint64
 }
 
 func (c *loopConn) Index() int { return c.idx }
@@ -299,22 +315,34 @@ func (c *loopConn) GetTag(ctx context.Context, key string) (Tag, error) {
 	if err := c.gate(ctx); err != nil {
 		return Tag{}, err
 	}
-	return c.lb.servers[c.idx].Load().GetTag(key), nil
+	srv := c.lb.servers[c.idx].Load()
+	if nack := srv.Admit(opClient, c.epoch); nack != nil {
+		return Tag{}, nack
+	}
+	return srv.GetTag(key), nil
 }
 
 func (c *loopConn) PutData(ctx context.Context, key string, t Tag, elem []byte, vlen int) error {
 	if err := c.gate(ctx); err != nil {
 		return err
 	}
+	srv := c.lb.servers[c.idx].Load()
+	if nack := srv.Admit(opClient, c.epoch); nack != nil {
+		return nack
+	}
 	// The wire would copy: the server takes ownership, and the caller
 	// (a pooled writer scratch) is free to reuse elem immediately.
-	c.lb.servers[c.idx].Load().PutData(key, t, slices.Clone(elem), vlen)
+	srv.PutData(key, t, slices.Clone(elem), vlen)
 	return nil
 }
 
 func (c *loopConn) GetData(ctx context.Context, key, readerID string, deliver func(Delivery)) error {
 	if err := c.gate(ctx); err != nil {
 		return err
+	}
+	srv := c.lb.servers[c.idx].Load()
+	if nack := srv.Admit(opClient, c.epoch); nack != nil {
+		return nack
 	}
 	wrap := func(d Delivery) {
 		d = c.lb.transform(c.idx, d)
@@ -323,8 +351,11 @@ func (c *loopConn) GetData(ctx context.Context, key, readerID string, deliver fu
 			fn(c.idx, key, readerID, d)
 		}
 	}
-	srv := c.lb.servers[c.idx].Load()
 	down := c.lb.downCh(c.idx)
+	// The stream dies when the server's epoch moves: the registration
+	// was dropped by the transition, and the stale error is what makes
+	// the reader re-register under the new configuration.
+	flipped := srv.EpochChanged()
 	initial := srv.Register(key, readerID, wrap)
 	defer srv.Unregister(key, readerID)
 	wrap(initial)
@@ -333,6 +364,12 @@ func (c *loopConn) GetData(ctx context.Context, key, readerID string, deliver fu
 		return nil
 	case <-down:
 		return ErrServerDown
+	case <-flipped:
+		if nack := srv.Admit(opClient, c.epoch); nack != nil {
+			return nack
+		}
+		st := srv.EpochStatus()
+		return &StaleEpochError{Server: c.idx, ServerEpoch: st.Epoch, Want: st.Epoch, Sealed: st.Sealed}
 	}
 }
 
@@ -344,8 +381,12 @@ func (c *loopConn) GetElem(ctx context.Context, key string) (Tag, []byte, int, e
 	if err := c.gate(ctx); err != nil {
 		return Tag{}, nil, 0, err
 	}
-	c.lb.servers[c.idx].Load().metrics.getElems.Add(1)
-	t, elem, vlen := c.lb.servers[c.idx].Load().Snapshot(key)
+	srv := c.lb.servers[c.idx].Load()
+	if nack := srv.Admit(opDonor, c.epoch); nack != nil {
+		return Tag{}, nil, 0, nack
+	}
+	srv.metrics.getElems.Add(1)
+	t, elem, vlen := srv.Snapshot(key)
 	d := c.lb.transform(c.idx, Delivery{Server: c.idx, Tag: t, Elem: elem, VLen: vlen})
 	if len(d.Elem) > 0 && &d.Elem[0] == &elem[0] {
 		// No transform ran: copy out of the server's live buffer so a
@@ -359,7 +400,11 @@ func (c *loopConn) RepairPut(ctx context.Context, key string, t Tag, elem []byte
 	if err := c.gate(ctx); err != nil {
 		return false, err
 	}
-	return c.lb.servers[c.idx].Load().RepairPut(key, t, slices.Clone(elem), vlen), nil
+	srv := c.lb.servers[c.idx].Load()
+	if nack := srv.Admit(opRepair, c.epoch); nack != nil {
+		return false, nack
+	}
+	return srv.RepairPut(key, t, slices.Clone(elem), vlen), nil
 }
 
 // Keys enumerates the server's written keys — the repair namespace.
@@ -367,5 +412,18 @@ func (c *loopConn) Keys(ctx context.Context) ([]string, error) {
 	if err := c.gate(ctx); err != nil {
 		return nil, err
 	}
-	return c.lb.servers[c.idx].Load().Keys(), nil
+	srv := c.lb.servers[c.idx].Load()
+	if nack := srv.Admit(opDonor, c.epoch); nack != nil {
+		return nil, nack
+	}
+	return srv.Keys(), nil
+}
+
+// Reconfig forwards a coordinator seal/activate/status to the server.
+// Epoch admission does not apply: reconfiguration is how epochs move.
+func (c *loopConn) Reconfig(ctx context.Context, op ReconfigOp, target uint64, n, k int) (EpochStatus, error) {
+	if err := c.gate(ctx); err != nil {
+		return EpochStatus{}, err
+	}
+	return c.lb.servers[c.idx].Load().Reconfig(op, target, n, k)
 }

@@ -23,6 +23,9 @@ type Metrics struct {
 	walTornDrops   atomic.Uint64
 	snapshots      atomic.Uint64
 	recoveries     atomic.Uint64
+	epochNacks     atomic.Uint64
+	epochFlips     atomic.Uint64
+	walGroupSyncs  atomic.Uint64
 }
 
 // MetricsSnapshot is one consistent-enough picture of a server's
@@ -45,6 +48,9 @@ type MetricsSnapshot struct {
 	WALTornDrops   uint64 // torn/corrupt records truncated at recovery
 	Snapshots      uint64 // namespace snapshots written (with log truncation)
 	Recoveries     uint64 // times this state was rebuilt from snapshot+WAL
+	EpochNacks     uint64 // frames rejected for carrying the wrong configuration epoch
+	EpochFlips     uint64 // epoch transitions applied (seals + activations)
+	WALGroupSyncs  uint64 // fsyncs that covered more than one FsyncAlways append
 	Registers      uint64 // gauge: registers currently in the namespace
 	Registrations  uint64 // gauge: reader registrations currently held
 }
@@ -69,6 +75,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		WALTornDrops:   m.walTornDrops.Load(),
 		Snapshots:      m.snapshots.Load(),
 		Recoveries:     m.recoveries.Load(),
+		EpochNacks:     m.epochNacks.Load(),
+		EpochFlips:     m.epochFlips.Load(),
+		WALGroupSyncs:  m.walGroupSyncs.Load(),
 	}
 }
 
@@ -93,6 +102,9 @@ func (s *MetricsSnapshot) Add(o MetricsSnapshot) {
 	s.WALTornDrops += o.WALTornDrops
 	s.Snapshots += o.Snapshots
 	s.Recoveries += o.Recoveries
+	s.EpochNacks += o.EpochNacks
+	s.EpochFlips += o.EpochFlips
+	s.WALGroupSyncs += o.WALGroupSyncs
 	s.Registers += o.Registers
 	s.Registrations += o.Registrations
 }

@@ -52,11 +52,19 @@ type dialAttempt struct {
 	err  error
 }
 
+// muxStream is one live get-data stream on the connection: the relay
+// sink plus an error slot the demux pump fails it through when the
+// server NACKs the stream's epoch mid-flight.
+type muxStream struct {
+	deliver func(Delivery)
+	errc    chan error // cap 1; at most one terminal error per stream
+}
+
 // MuxConn implements Conn over one persistent multiplexed connection.
 type MuxConn struct {
-	idx    int
-	addr   string
-	policy dialPolicy
+	idx  int
+	addr string
+	opts tcpOpts
 
 	reqSeq atomic.Uint64
 	wmu    sync.Mutex // serializes frame writes to the live connection
@@ -65,8 +73,8 @@ type MuxConn struct {
 	sess    *muxSession
 	dialing *dialAttempt
 	closed  bool
-	pending map[uint64]chan []byte    // unary waiters by request id
-	streams map[uint64]func(Delivery) // get-data sinks by request id
+	pending map[uint64]chan []byte // unary waiters by request id
+	streams map[uint64]*muxStream  // get-data streams by request id
 }
 
 // TCPMuxConn returns the multiplexed Conn for the server at shard
@@ -75,12 +83,12 @@ func TCPMuxConn(idx int, addr string, opts ...TCPOption) *MuxConn {
 	c := &MuxConn{
 		idx:     idx,
 		addr:    addr,
-		policy:  defaultDialPolicy(),
+		opts:    defaultTCPOpts(),
 		pending: make(map[uint64]chan []byte),
-		streams: make(map[uint64]func(Delivery)),
+		streams: make(map[uint64]*muxStream),
 	}
 	for _, opt := range opts {
-		opt(&c.policy)
+		opt(&c.opts)
 	}
 	return c
 }
@@ -139,7 +147,7 @@ func (c *MuxConn) session(ctx context.Context) (*muxSession, error) {
 			att = &dialAttempt{done: make(chan struct{})}
 			c.dialing = att
 			c.mu.Unlock()
-			conn, err := c.policy.dial(ctx, c.addr)
+			conn, err := c.opts.policy.dial(ctx, c.addr)
 			c.mu.Lock()
 			c.dialing = nil
 			if err == nil && c.closed {
@@ -181,7 +189,7 @@ func (c *MuxConn) teardown(s *muxSession, err error) {
 	if c.sess == s {
 		c.sess = nil
 		c.pending = make(map[uint64]chan []byte)
-		c.streams = make(map[uint64]func(Delivery))
+		c.streams = make(map[uint64]*muxStream)
 	}
 	c.mu.Unlock()
 	s.fail(err)
@@ -238,11 +246,43 @@ func (c *MuxConn) readLoop(s *muxSession) {
 				return
 			}
 			c.mu.Lock()
-			deliver := c.streams[req]
+			st := c.streams[req]
 			c.mu.Unlock()
-			if deliver != nil {
+			if st != nil {
 				d.Server = c.idx
-				deliver(d)
+				st.deliver(d)
+			}
+		case typ == msgEpochNack:
+			// An epoch NACK either answers a unary exchange (route the
+			// whole payload; the waiter's decoder surfaces the typed
+			// error) or kills a relay stream the server just swept in an
+			// epoch flip.
+			c.mu.Lock()
+			st := c.streams[req]
+			if st != nil {
+				delete(c.streams, req)
+			}
+			ch := c.pending[req]
+			if ch != nil {
+				delete(c.pending, req)
+			}
+			c.mu.Unlock()
+			switch {
+			case st != nil:
+				buf = payload
+				_, serr := decodeEpochNack(payload)
+				if serr == nil {
+					serr = &FrameError{Want: "epoch-nack", Msg: "well-formed nack decoded to nil"}
+				}
+				select {
+				case st.errc <- stampStale(serr, c.idx):
+				default:
+				}
+			case ch != nil:
+				ch <- payload // buffered; never blocks the pump
+				buf = nil     // ownership moved to the waiter
+			default:
+				buf = payload // nack for a cancelled or unknown exchange
 			}
 		case typ == msgError && req == 0:
 			// Connection-level error: the server could not even parse a
@@ -317,57 +357,71 @@ func (c *MuxConn) unary(ctx context.Context, build func(b []byte, req uint64) []
 
 func (c *MuxConn) GetTag(ctx context.Context, key string) (Tag, error) {
 	payload, err := c.unary(ctx, func(b []byte, req uint64) []byte {
-		return appendGetTag(b, req, key)
+		return appendGetTag(b, req, c.opts.epoch, key)
 	})
 	if err != nil {
 		return Tag{}, err
 	}
 	_, t, err := decodeTagResp(payload)
-	return t, err
+	return t, stampStale(err, c.idx)
 }
 
 func (c *MuxConn) PutData(ctx context.Context, key string, t Tag, elem []byte, vlen int) error {
 	payload, err := c.unary(ctx, func(b []byte, req uint64) []byte {
-		return appendPutData(b, req, key, t, elem, vlen)
+		return appendPutData(b, req, c.opts.epoch, key, t, elem, vlen)
 	})
 	if err != nil {
 		return err
 	}
 	_, err = decodeAck(payload)
-	return err
+	return stampStale(err, c.idx)
 }
 
 func (c *MuxConn) GetElem(ctx context.Context, key string) (Tag, []byte, int, error) {
 	payload, err := c.unary(ctx, func(b []byte, req uint64) []byte {
-		return appendGetElem(b, req, key)
+		return appendGetElem(b, req, c.opts.epoch, key)
 	})
 	if err != nil {
 		return Tag{}, nil, 0, err
 	}
 	_, t, elem, vlen, err := decodeElemResp(payload)
-	return t, elem, vlen, err
+	return t, elem, vlen, stampStale(err, c.idx)
 }
 
 func (c *MuxConn) RepairPut(ctx context.Context, key string, t Tag, elem []byte, vlen int) (bool, error) {
 	payload, err := c.unary(ctx, func(b []byte, req uint64) []byte {
-		return appendRepairPut(b, req, key, t, elem, vlen)
+		return appendRepairPut(b, req, c.opts.epoch, key, t, elem, vlen)
 	})
 	if err != nil {
 		return false, err
 	}
 	_, accepted, err := decodeRepairResp(payload)
-	return accepted, err
+	return accepted, stampStale(err, c.idx)
 }
 
 func (c *MuxConn) Keys(ctx context.Context) ([]string, error) {
 	payload, err := c.unary(ctx, func(b []byte, req uint64) []byte {
-		return appendKeysReq(b, req)
+		return appendKeysReq(b, req, c.opts.epoch)
 	})
 	if err != nil {
 		return nil, err
 	}
 	_, keys, err := decodeKeysResp(payload)
-	return keys, err
+	return keys, stampStale(err, c.idx)
+}
+
+// Reconfig drives the server's epoch state machine on behalf of a
+// reconfiguration coordinator. Reconfig frames are not themselves
+// epoch-checked: they are what moves the epoch.
+func (c *MuxConn) Reconfig(ctx context.Context, op ReconfigOp, target uint64, n, k int) (EpochStatus, error) {
+	payload, err := c.unary(ctx, func(b []byte, req uint64) []byte {
+		return appendReconfig(b, req, op, target, n, k)
+	})
+	if err != nil {
+		return EpochStatus{}, err
+	}
+	_, st, err := decodeReconfigResp(payload)
+	return st, err
 }
 
 // GetData opens a key-scoped relay stream: register the sink under a
@@ -386,6 +440,7 @@ func (c *MuxConn) GetData(ctx context.Context, key, readerID string, deliver fun
 		return nil
 	}
 	req := c.reqSeq.Add(1)
+	st := &muxStream{deliver: deliver, errc: make(chan error, 1)}
 	c.mu.Lock()
 	if c.sess != s {
 		c.mu.Unlock()
@@ -396,10 +451,10 @@ func (c *MuxConn) GetData(ctx context.Context, key, readerID string, deliver fun
 			return errConnClosed
 		}
 	}
-	c.streams[req] = deliver
+	c.streams[req] = st
 	c.mu.Unlock()
 	bp := frameForSend()
-	*bp = appendGetData(*bp, req, key, readerID)
+	*bp = appendGetData(*bp, req, c.opts.epoch, key, readerID)
 	if err := c.writeBuf(s, bp); err != nil {
 		c.mu.Lock()
 		delete(c.streams, req)
@@ -413,7 +468,7 @@ func (c *MuxConn) GetData(ctx context.Context, key, readerID string, deliver fun
 		delete(c.streams, req)
 		c.mu.Unlock()
 		bp := frameForSend()
-		*bp = appendReaderDone(*bp, req)
+		*bp = appendReaderDone(*bp, req, c.opts.epoch)
 		if err := c.writeBuf(s, bp); err != nil {
 			// Best effort failed: without the reader-done frame the server
 			// would keep relaying to a reader that left, so kill the session
@@ -421,6 +476,11 @@ func (c *MuxConn) GetData(ctx context.Context, key, readerID string, deliver fun
 			c.teardown(s, err)
 		}
 		return nil
+	case err := <-st.errc:
+		// The server NACKed the stream's epoch (pump already dropped the
+		// registration on both ends); surface the typed error so the
+		// read retries under the new configuration.
+		return err
 	case <-s.done:
 		// Session death races the reader loop's stream sweep; deleting
 		// here too keeps the map from briefly pinning the closure.

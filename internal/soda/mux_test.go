@@ -155,14 +155,14 @@ func TestMuxIgnoresUnknownRequestIDs(t *testing.T) {
 		if err != nil {
 			return
 		}
-		req, _, err := decodeGetTag(payload)
+		req, _, _, err := decodeGetTag(payload)
 		if err != nil {
 			return
 		}
 		// A stray response for an exchange that does not exist, then the
 		// real one.
-		writeFrame(conn, appendTagResp(nil, req+999, Tag{TS: 1, Writer: "bogus"}))
-		writeFrame(conn, appendTagResp(nil, req, want))
+		writeFrame(conn, appendTagResp(nil, req+999, 0, Tag{TS: 1, Writer: "bogus"}))
+		writeFrame(conn, appendTagResp(nil, req, 0, want))
 	}()
 
 	c := TCPMuxConn(0, ln.Addr().String())
@@ -195,7 +195,7 @@ func TestDialConnRejectsMismatchedRequestID(t *testing.T) {
 		if _, err := readFrame(bufio.NewReader(conn), nil); err != nil {
 			return
 		}
-		writeFrame(conn, appendTagResp(nil, dialReq+6, Tag{TS: 9, Writer: "w"}))
+		writeFrame(conn, appendTagResp(nil, dialReq+6, 0, Tag{TS: 9, Writer: "w"}))
 	}()
 	c := TCPConn(0, ln.Addr().String())
 	_, err = c.GetTag(ctx, testKey)
@@ -232,7 +232,7 @@ func TestMuxConnSurvivesBadRequests(t *testing.T) {
 	// Garbage type byte injected through the raw frame path under a
 	// pending unary id: the error frame routes back to this exchange.
 	payload, err := c.unary(ctx, func(b []byte, req uint64) []byte {
-		return appendHeader(b, 0xEE, req)
+		return appendHeader(b, 0xEE, req, 0)
 	})
 	if err != nil {
 		t.Fatalf("unary: %v", err)
@@ -268,7 +268,7 @@ func TestRawConnSurvivesGarbageRequestID(t *testing.T) {
 	defer conn.Close()
 	br := bufio.NewReader(conn)
 
-	if err := writeFrame(conn, appendHeader(nil, 0xEE, 0xFEEDFACE)); err != nil {
+	if err := writeFrame(conn, appendHeader(nil, 0xEE, 0xFEEDFACE, 0)); err != nil {
 		t.Fatal(err)
 	}
 	payload, err := readFrame(br, nil)
@@ -282,7 +282,7 @@ func TestRawConnSurvivesGarbageRequestID(t *testing.T) {
 	}
 
 	// Same connection, now a real request.
-	if err := writeFrame(conn, appendGetTag(nil, 5, testKey)); err != nil {
+	if err := writeFrame(conn, appendGetTag(nil, 5, 0, testKey)); err != nil {
 		t.Fatal(err)
 	}
 	payload, err = readFrame(br, nil)
@@ -307,7 +307,7 @@ func TestConnWriterBatchesFlushes(t *testing.T) {
 	// coalesce into one buffered batch.
 	for i := 1; i <= frames; i++ {
 		bp := getFrame()
-		*bp = appendAck(*bp, uint64(i))
+		*bp = appendAck(*bp, uint64(i), 0)
 		if !w.send(bp) {
 			t.Fatalf("send %d refused", i)
 		}

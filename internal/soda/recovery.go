@@ -33,6 +33,7 @@ type durConfig struct {
 	mode          FsyncMode
 	interval      time.Duration
 	snapThreshold int64
+	failAfter     int64
 }
 
 // DurableOption configures a durable server.
@@ -52,6 +53,14 @@ func WithFsyncEvery(d time.Duration) DurableOption {
 // background snapshot + log truncation (default 4 MiB).
 func WithSnapshotThreshold(bytes int64) DurableOption {
 	return func(c *durConfig) { c.snapThreshold = bytes }
+}
+
+// WithWALFailAfter injects a disk fault for the IO-error soak: the WAL
+// append that would push the active segment past the given size fails
+// and latches, degrading the server to memory-only durability (counted
+// by WALFailures). Zero disables the injection.
+func WithWALFailAfter(bytes int64) DurableOption {
+	return func(c *durConfig) { c.failAfter = bytes }
 }
 
 // durability is a Server's persistence engine: the WAL it appends to,
@@ -92,7 +101,7 @@ func NewDurableServer(idx int, dir string, opts ...DurableOption) (*Server, erro
 	s := NewServer(idx)
 	d := &durability{
 		srv:   s,
-		wal:   &wal{dir: dir, mode: cfg.mode},
+		wal:   &wal{dir: dir, mode: cfg.mode, failAfter: cfg.failAfter, metrics: &s.metrics},
 		cfg:   cfg,
 		snapC: make(chan struct{}, 1),
 		stop:  make(chan struct{}),
@@ -111,9 +120,13 @@ func NewDurableServer(idx int, dir string, opts ...DurableOption) (*Server, erro
 // wal open on the tail segment.
 func (d *durability) recover() error {
 	os.Remove(filepath.Join(d.wal.dir, snapshotTmp)) // a crashed half-written snapshot is garbage
-	covered, entries, err := readSnapshot(d.wal.dir)
+	covered, est, entries, err := readSnapshot(d.wal.dir)
 	if err != nil {
 		return err
+	}
+	if est != (epochState{}) {
+		e := est
+		d.srv.installEpochState(&e)
 	}
 	for _, e := range entries {
 		d.srv.installRecovered(e.key, e.tag, e.elem, e.vlen)
@@ -199,7 +212,7 @@ func (d *durability) background() {
 // failure and the server keeps serving from memory — the operator
 // signal is the metric, not a wedged cluster.
 func (d *durability) logMutation(op byte, key string, t Tag, elem []byte, vlen int) {
-	size, err := d.wal.append(op, key, t, elem, vlen)
+	size, err := d.wal.append(walRecord{op: op, key: key, tag: t, elem: elem, vlen: vlen}, false)
 	if err != nil {
 		d.srv.metrics.walFailures.Add(1)
 		return
@@ -211,6 +224,20 @@ func (d *durability) logMutation(op byte, key string, t Tag, elem []byte, vlen i
 		default:
 		}
 	}
+}
+
+// logEpoch appends one configuration-epoch transition, synced
+// regardless of the fsync mode: a node must come back from a power cut
+// knowing which geometry it belongs to, whatever it risks for data
+// records. Called under the server's epochMu, before the state
+// applies.
+func (d *durability) logEpoch(est *epochState) {
+	_, err := d.wal.append(walRecord{op: walOpEpoch, est: *est}, true)
+	if err != nil {
+		d.srv.metrics.walFailures.Add(1)
+		return
+	}
+	d.srv.metrics.walAppends.Add(1)
 }
 
 // snapshot checkpoints the namespace and truncates the log: rotate the
@@ -226,7 +253,7 @@ func (d *durability) snapshot() error {
 	if err != nil {
 		return err
 	}
-	if err := writeSnapshot(d.wal.dir, covered, d.srv.snapEntries()); err != nil {
+	if err := writeSnapshot(d.wal.dir, covered, *d.srv.epochSt.Load(), d.srv.snapEntries()); err != nil {
 		return err
 	}
 	d.srv.metrics.snapshots.Add(1)
@@ -327,6 +354,9 @@ func (s *Server) replayRecord(rec walRecord) {
 			r.mu.Unlock()
 			s.collect(rec.key)
 		}
+	case walOpEpoch:
+		est := rec.est
+		s.installEpochState(&est)
 	}
 }
 

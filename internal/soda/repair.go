@@ -191,6 +191,14 @@ func (rp *Repairer) Run(ctx context.Context) error {
 				if ctx.Err() != nil {
 					return ctx.Err()
 				}
+				if errors.Is(err, ErrStaleEpoch) {
+					// The cluster reconfigured out from under this
+					// repairer: its conns are stamped with a retired
+					// epoch, so every further attempt would bounce too.
+					// Abort rather than spin — the new configuration's
+					// repairer owns the healing now.
+					return fmt.Errorf("soda: repair: configuration epoch moved: %w", err)
+				}
 				p.next = time.Now().Add(p.b.Next())
 				if wake.IsZero() || p.next.Before(wake) {
 					wake = p.next
@@ -288,9 +296,10 @@ func (rp *Repairer) repair(ctx context.Context, target int) (RepairOutcome, erro
 // answer.
 func (rp *Repairer) keyUnion(ctx context.Context, target int) ([]string, error) {
 	var (
-		mu      sync.Mutex
-		union   = make(map[string]struct{})
-		answers int
+		mu       sync.Mutex
+		union    = make(map[string]struct{})
+		answers  int
+		staleErr error
 	)
 	var wg sync.WaitGroup
 	for _, c := range rp.conns {
@@ -302,6 +311,13 @@ func (rp *Repairer) keyUnion(ctx context.Context, target int) ([]string, error) 
 			defer wg.Done()
 			keys, err := c.Keys(ctx)
 			if err != nil {
+				if errors.Is(err, ErrStaleEpoch) {
+					mu.Lock()
+					if staleErr == nil {
+						staleErr = err
+					}
+					mu.Unlock()
+				}
 				reportSuspect(rp.m, ctx, c.Index(), err)
 				return
 			}
@@ -318,6 +334,12 @@ func (rp *Repairer) keyUnion(ctx context.Context, target int) ([]string, error) 
 		return nil, ctx.Err()
 	}
 	if answers == 0 {
+		if staleErr != nil {
+			// Every donor bounced the enumeration for carrying a retired
+			// epoch: the quorum shortfall IS a reconfiguration, and the
+			// caller must see it as one.
+			return nil, fmt.Errorf("%w: no live donor answered the key enumeration: %w", ErrRepairQuorum, staleErr)
+		}
 		return nil, fmt.Errorf("%w: no live donor answered the key enumeration", ErrRepairQuorum)
 	}
 	keys := make([]string, 0, len(union))
@@ -393,6 +415,7 @@ func (rp *Repairer) collect(ctx context.Context, target int, key string) ([]dona
 	var (
 		mu        sync.Mutex
 		donations []donation
+		staleErr  error
 	)
 	var wg sync.WaitGroup
 	for _, c := range rp.conns {
@@ -404,6 +427,13 @@ func (rp *Repairer) collect(ctx context.Context, target int, key string) ([]dona
 			defer wg.Done()
 			t, elem, vlen, err := c.GetElem(ctx, key)
 			if err != nil {
+				if errors.Is(err, ErrStaleEpoch) {
+					mu.Lock()
+					if staleErr == nil {
+						staleErr = err
+					}
+					mu.Unlock()
+				}
 				reportSuspect(rp.m, ctx, c.Index(), err)
 				return
 			}
@@ -422,6 +452,10 @@ func (rp *Repairer) collect(ctx context.Context, target int, key string) ([]dona
 		return nil, ctx.Err()
 	}
 	if len(donations) < rp.codec.K() {
+		if staleErr != nil {
+			return nil, fmt.Errorf("%w: only %d of %d live servers answered, need k=%d: %w",
+				ErrRepairQuorum, len(donations), len(rp.conns), rp.codec.K(), staleErr)
+		}
 		return nil, fmt.Errorf("%w: only %d of %d live servers answered, need k=%d",
 			ErrRepairQuorum, len(donations), len(rp.conns), rp.codec.K())
 	}

@@ -1,21 +1,25 @@
 package soda
 
 import (
+	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Delivery is one (tag, coded element) message from a server to a
 // reader: either the server's current state at registration time
 // (Initial) or the relay of a put-data that arrived while the reader
 // was registered. A server that has never been written delivers the
-// zero Tag with a nil element.
+// zero Tag with a nil element. Epoch is the configuration epoch the
+// server held the element under when it relayed it.
 type Delivery struct {
 	Server  int
 	Tag     Tag
 	Elem    []byte
 	VLen    int
 	Initial bool
+	Epoch   uint64
 }
 
 // registration is one registered reader: the relay sink plus the tag
@@ -68,12 +72,42 @@ type Server struct {
 	metrics Metrics
 	dur     *durability // nil for a memory-only server
 	shards  [serverShardCount]serverShard
+
+	// Configuration-epoch state. epochSt is read lock-free on every
+	// admission check; transitions serialize on epochMu and broadcast by
+	// closing-and-replacing epochCh (the Membership.Changed pattern), so
+	// transports can tear down relay streams the moment the geometry
+	// moves.
+	epochSt atomic.Pointer[epochState]
+	epochMu sync.Mutex
+	epochCh chan struct{}
 }
+
+// epochState is the server's view of the cluster configuration: the
+// active epoch and its [n,k] geometry, plus — while sealed for a
+// two-phase flip — the pending epoch and geometry being migrated to.
+type epochState struct {
+	epoch   uint64
+	n, k    int // active geometry (0,0 until the first flip names one)
+	sealed  bool
+	pending uint64
+	pn, pk  int // pending geometry, meaningful only while sealed
+}
+
+// opClass buckets wire operations for epoch admission.
+type opClass int
+
+const (
+	opClient opClass = iota // get-tag, put-data, get-data: full service only
+	opDonor                 // get-elem, keys: served while sealed (migration donors)
+	opRepair                // repair-put: active epoch, or pending epoch while sealed
+)
 
 // NewServer returns the state machine for the server holding codeword
 // shard idx.
 func NewServer(idx int) *Server {
-	s := &Server{idx: idx}
+	s := &Server{idx: idx, epochCh: make(chan struct{})}
+	s.epochSt.Store(&epochState{})
 	for i := range s.shards {
 		s.shards[i].regs = make(map[string]*register)
 	}
@@ -102,6 +136,130 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 		sh.mu.RUnlock()
 	}
 	return snap
+}
+
+// EpochStatus reports the server's configuration-epoch state.
+func (s *Server) EpochStatus() EpochStatus {
+	st := s.epochSt.Load()
+	return EpochStatus{Epoch: st.epoch, Pending: st.pending, Sealed: st.sealed, N: st.n, K: st.k}
+}
+
+// EpochChanged returns a channel closed at the server's next epoch
+// transition (seal or activate). Callers re-arm by calling again.
+func (s *Server) EpochChanged() <-chan struct{} {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	return s.epochCh
+}
+
+// Admit checks a frame's configuration epoch against the server's
+// state for the given operation class, returning the typed NACK the
+// transport must send when they disagree. Client operations require
+// the active epoch unsealed; donor reads (get-elem, keys) are served
+// while sealed so migration can drain the frozen state; repair
+// installs are accepted at the active epoch or, while sealed, at the
+// pending epoch — that is the migration path laying down re-encoded
+// elements before activation.
+func (s *Server) Admit(class opClass, epoch uint64) *StaleEpochError {
+	st := s.epochSt.Load()
+	switch class {
+	case opClient:
+		if epoch == st.epoch && !st.sealed {
+			return nil
+		}
+	case opDonor:
+		if epoch == st.epoch {
+			return nil
+		}
+	case opRepair:
+		if (epoch == st.epoch && !st.sealed) || (st.sealed && epoch == st.pending) {
+			return nil
+		}
+	}
+	s.metrics.epochNacks.Add(1)
+	want := st.epoch
+	if st.sealed {
+		want = st.pending
+	}
+	if epoch > want {
+		// The client is ahead of us (it saw an activation we have not):
+		// it should keep its epoch and retry once we catch up.
+		want = epoch
+	}
+	return &StaleEpochError{Server: s.idx, ServerEpoch: st.epoch, Want: want, Sealed: st.sealed}
+}
+
+// Reconfig is the coordinator's entry point for the two-phase flip:
+// seal the active epoch pending a target, then activate the target.
+// Both transitions are idempotent (a coordinator retrying after a
+// timeout or a node power-cut must be able to re-issue them), logged
+// as WAL epoch records before they apply (synced regardless of fsync
+// mode — a geometry change is too rare and too important to lose), and
+// drop every reader registration so relay streams die with the old
+// epoch instead of leaking cross-epoch deliveries.
+func (s *Server) Reconfig(op ReconfigOp, target uint64, n, k int) (EpochStatus, error) {
+	if op == ReconfigStatus {
+		return s.EpochStatus(), nil
+	}
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	st := s.epochSt.Load()
+	switch op {
+	case ReconfigSeal:
+		if st.epoch >= target || (st.sealed && st.pending == target) {
+			// Already sealed for (or past) the target: a retry, not a
+			// conflict.
+			return s.statusLocked(), nil
+		}
+		if st.sealed {
+			return s.statusLocked(), fmt.Errorf("soda: server %d: seal for epoch %d conflicts with pending flip to %d", s.idx, target, st.pending)
+		}
+		next := &epochState{epoch: st.epoch, n: st.n, k: st.k, sealed: true, pending: target, pn: n, pk: k}
+		s.transitionLocked(next)
+	case ReconfigActivate:
+		if st.epoch >= target {
+			return s.statusLocked(), nil
+		}
+		if !st.sealed || st.pending != target {
+			return s.statusLocked(), fmt.Errorf("soda: server %d: activate epoch %d without matching seal (sealed=%v pending=%d)", s.idx, target, st.sealed, st.pending)
+		}
+		next := &epochState{epoch: target, n: n, k: k}
+		s.transitionLocked(next)
+	default:
+		return s.statusLocked(), fmt.Errorf("soda: server %d: unknown reconfig op %d", s.idx, op)
+	}
+	return s.statusLocked(), nil
+}
+
+func (s *Server) statusLocked() EpochStatus {
+	st := s.epochSt.Load()
+	return EpochStatus{Epoch: st.epoch, Pending: st.pending, Sealed: st.sealed, N: st.n, K: st.k}
+}
+
+// transitionLocked logs, applies, and broadcasts one epoch transition.
+// Caller holds epochMu.
+func (s *Server) transitionLocked(next *epochState) {
+	if s.dur != nil {
+		s.dur.logEpoch(next)
+	}
+	s.epochSt.Store(next)
+	s.metrics.epochFlips.Add(1)
+	ch := s.epochCh
+	s.epochCh = make(chan struct{})
+	close(ch)
+	// Registered readers belong to the configuration they registered
+	// under; the flip hands them off by dropping them here so their
+	// streams end and they re-register (min(treq, tag) semantics) under
+	// the new epoch.
+	s.UnregisterAll()
+}
+
+// installEpochState restores epoch state during recovery replay,
+// without logging (the record being replayed is the log).
+func (s *Server) installEpochState(next *epochState) {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	s.epochSt.Store(next)
 }
 
 // shardOf hashes a key onto its stripe (FNV-1a, inlined to keep the
@@ -203,7 +361,7 @@ func (s *Server) PutData(key string, t Tag, elem []byte, vlen int) {
 	r.mu.Unlock()
 	if len(sinks) > 0 {
 		s.metrics.relays.Add(uint64(len(sinks)))
-		d := Delivery{Server: s.idx, Tag: t, Elem: elem, VLen: vlen}
+		d := Delivery{Server: s.idx, Tag: t, Elem: elem, VLen: vlen, Epoch: s.epochSt.Load().epoch}
 		for _, sink := range sinks {
 			sink(d)
 		}
@@ -244,7 +402,7 @@ func (s *Server) RepairPut(key string, t Tag, elem []byte, vlen int) bool {
 	s.metrics.repairInstalls.Add(1)
 	if len(sinks) > 0 {
 		s.metrics.relays.Add(uint64(len(sinks)))
-		d := Delivery{Server: s.idx, Tag: t, Elem: elem, VLen: vlen}
+		d := Delivery{Server: s.idx, Tag: t, Elem: elem, VLen: vlen, Epoch: s.epochSt.Load().epoch}
 		for _, sink := range sinks {
 			sink(d)
 		}
@@ -348,11 +506,11 @@ func (s *Server) Register(key, readerID string, sink func(Delivery)) Delivery {
 				treq = r.tag
 			}
 			r.readers[i] = registration{reader: readerID, treq: treq, sink: sink}
-			return Delivery{Server: s.idx, Tag: r.tag, Elem: r.elem, VLen: r.vlen, Initial: true}
+			return Delivery{Server: s.idx, Tag: r.tag, Elem: r.elem, VLen: r.vlen, Initial: true, Epoch: s.epochSt.Load().epoch}
 		}
 	}
 	r.readers = append(r.readers, registration{reader: readerID, treq: r.tag, sink: sink})
-	return Delivery{Server: s.idx, Tag: r.tag, Elem: r.elem, VLen: r.vlen, Initial: true}
+	return Delivery{Server: s.idx, Tag: r.tag, Elem: r.elem, VLen: r.vlen, Initial: true, Epoch: s.epochSt.Load().epoch}
 }
 
 // Unregister drops a reader's registration on key (reader-done, or its

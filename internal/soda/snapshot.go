@@ -15,10 +15,17 @@ import (
 // Snapshots checkpoint the whole (key, tag, elem, vlen) namespace so
 // the WAL can be truncated. The file format mirrors the wire encoding:
 //
-//	8-byte magic "SODASNP1"
-//	uint64 covered-lsn | uint32 entry count
+//	8-byte magic "SODASNP2"
+//	uint64 covered-lsn
+//	epoch state: uint64 epoch | uint64 pending | byte sealed
+//	             | uint16 n | uint16 k | uint16 pn | uint16 pk
+//	uint32 entry count
 //	count × { key | tag | uint32 vlen | elem }
 //	uint32 CRC32-IEEE over everything after the magic
+//
+// The epoch state rides in the snapshot because truncation deletes the
+// WAL segments holding the epoch records it covers; without it, a node
+// could recover its data but forget which configuration it belongs to.
 //
 // A snapshot is written to a temp file, fsynced, and renamed into
 // place, so recovery only ever sees a complete old snapshot or a
@@ -31,7 +38,7 @@ const (
 	snapshotTmp  = "snapshot.tmp"
 )
 
-var snapshotMagic = []byte("SODASNP1")
+var snapshotMagic = []byte("SODASNP2")
 
 // snapEntry is one register's durable state.
 type snapEntry struct {
@@ -43,7 +50,7 @@ type snapEntry struct {
 
 // writeSnapshot atomically replaces dir's snapshot with one covering
 // WAL records up to and including lsn covered.
-func writeSnapshot(dir string, covered uint64, entries []snapEntry) (err error) {
+func writeSnapshot(dir string, covered uint64, est epochState, entries []snapEntry) (err error) {
 	tmp := filepath.Join(dir, snapshotTmp)
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -63,10 +70,21 @@ func writeSnapshot(dir string, covered uint64, entries []snapEntry) (err error) 
 	if _, err = bw.Write(snapshotMagic); err != nil {
 		return err
 	}
-	var hdr [12]byte
-	binary.BigEndian.PutUint64(hdr[:8], covered)
-	binary.BigEndian.PutUint32(hdr[8:], uint32(len(entries)))
-	if _, err = w.Write(hdr[:]); err != nil {
+	var hdr []byte
+	hdr = binary.BigEndian.AppendUint64(hdr, covered)
+	hdr = binary.BigEndian.AppendUint64(hdr, est.epoch)
+	hdr = binary.BigEndian.AppendUint64(hdr, est.pending)
+	var sealed byte
+	if est.sealed {
+		sealed = 1
+	}
+	hdr = append(hdr, sealed)
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(est.n))
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(est.k))
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(est.pn))
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(est.pk))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(entries)))
+	if _, err = w.Write(hdr); err != nil {
 		return err
 	}
 	var scratch []byte
@@ -103,27 +121,35 @@ func writeSnapshot(dir string, covered uint64, entries []snapEntry) (err error) 
 }
 
 // readSnapshot loads dir's snapshot. A missing file is not an error —
-// it returns (0, nil, nil), the "replay the whole log" case. A present
-// but corrupt snapshot is fatal: it was written atomically, so damage
+// it returns the zero "replay the whole log" case. A present but
+// corrupt snapshot is fatal: it was written atomically, so damage
 // means the disk lies and silently serving a partial namespace would
 // break the tag floor.
-func readSnapshot(dir string) (uint64, []snapEntry, error) {
+func readSnapshot(dir string) (uint64, epochState, []snapEntry, error) {
+	var est epochState
 	data, err := os.ReadFile(filepath.Join(dir, snapshotName))
 	if errors.Is(err, os.ErrNotExist) {
-		return 0, nil, nil
+		return 0, est, nil, nil
 	}
 	if err != nil {
-		return 0, nil, err
+		return 0, est, nil, err
 	}
 	if len(data) < len(snapshotMagic)+16 || !bytes.Equal(data[:len(snapshotMagic)], snapshotMagic) {
-		return 0, nil, errors.New("soda: snapshot: bad magic or truncated")
+		return 0, est, nil, errors.New("soda: snapshot: bad magic or truncated")
 	}
 	body := data[len(snapshotMagic) : len(data)-4]
 	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(data[len(data)-4:]) {
-		return 0, nil, errors.New("soda: snapshot: checksum mismatch")
+		return 0, est, nil, errors.New("soda: snapshot: checksum mismatch")
 	}
 	c := &cursor{b: body}
 	covered := c.u64()
+	est.epoch = c.u64()
+	est.pending = c.u64()
+	est.sealed = c.u8() == 1
+	est.n = int(c.u16())
+	est.k = int(c.u16())
+	est.pn = int(c.u16())
+	est.pk = int(c.u16())
 	count := c.u32()
 	entries := make([]snapEntry, 0, min(int(count), 1024))
 	for i := uint32(0); i < count && !c.failed; i++ {
@@ -135,9 +161,9 @@ func readSnapshot(dir string) (uint64, []snapEntry, error) {
 		entries = append(entries, e)
 	}
 	if err := c.err("snapshot"); err != nil {
-		return 0, nil, fmt.Errorf("soda: snapshot: %w", err)
+		return 0, est, nil, fmt.Errorf("soda: snapshot: %w", err)
 	}
-	return covered, entries, nil
+	return covered, est, entries, nil
 }
 
 // syncDir best-effort fsyncs a directory so a rename is durable;

@@ -3,6 +3,7 @@ package soda
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -118,6 +119,43 @@ type streamSub struct {
 	rid string
 }
 
+// watchEpochs is a per-connection goroutine that kills relay streams
+// when the server's configuration epoch moves: every open get-data
+// stream gets an epoch NACK on its own request id (so the client's
+// read fails with a typed StaleEpochError and re-registers under the
+// new epoch) and its registration is dropped. The status-compare loop
+// re-checks after each sweep, so back-to-back transitions cannot slip
+// between a wakeup and re-arming the change channel.
+func (ns *NetServer) watchEpochs(w *connWriter, subMu *sync.Mutex, subs map[uint64]streamSub, stop <-chan struct{}) {
+	var last EpochStatus
+	for {
+		ch := ns.core.EpochChanged()
+		st := ns.core.EpochStatus()
+		if st != last {
+			want := st.Epoch
+			if st.Sealed {
+				want = st.Pending
+			}
+			subMu.Lock()
+			for req, sub := range subs {
+				ns.core.Unregister(sub.key, sub.rid)
+				bp := getFrame()
+				*bp = appendEpochNack(*bp, req, st, want)
+				w.trySend(bp)
+				delete(subs, req)
+			}
+			subMu.Unlock()
+			last = st
+			continue
+		}
+		select {
+		case <-ch:
+		case <-stop:
+			return
+		}
+	}
+}
+
 func (ns *NetServer) handle(conn net.Conn) {
 	defer ns.wg.Done()
 	w := newConnWriter(conn, outQueueDepth)
@@ -127,11 +165,21 @@ func (ns *NetServer) handle(conn net.Conn) {
 		w.run()
 	}()
 
+	var subMu sync.Mutex
 	subs := make(map[uint64]streamSub)
+	stopWatch := make(chan struct{})
+	ns.wg.Add(1)
+	go func() {
+		defer ns.wg.Done()
+		ns.watchEpochs(w, &subMu, subs, stopWatch)
+	}()
 	defer func() {
+		close(stopWatch)
+		subMu.Lock()
 		for _, sub := range subs {
 			ns.core.Unregister(sub.key, sub.rid)
 		}
+		subMu.Unlock()
 		w.shutdown() // drains queued frames, then closes conn
 		ns.mu.Lock()
 		delete(ns.conns, conn)
@@ -147,6 +195,16 @@ func (ns *NetServer) handle(conn net.Conn) {
 		*bp = appendError(*bp, req, msg)
 		return w.send(bp)
 	}
+	// nack answers a request whose configuration epoch the state
+	// machine refused; the connection survives — the client refetches
+	// its config and retries.
+	nack := func(req uint64, se *StaleEpochError) bool {
+		bp := getFrame()
+		*bp = appendEpochNack(*bp, req, EpochStatus{Epoch: se.ServerEpoch, Sealed: se.Sealed}, se.Want)
+		return w.send(bp)
+	}
+	// epoch responses carry the server's active epoch at reply time.
+	cur := func() uint64 { return ns.core.EpochStatus().Epoch }
 
 	br := bufio.NewReader(conn)
 	var buf []byte
@@ -167,36 +225,54 @@ func (ns *NetServer) handle(conn net.Conn) {
 		}
 		switch typ {
 		case msgGetTag:
-			_, key, err := decodeGetTag(payload)
+			_, epoch, key, err := decodeGetTag(payload)
 			if err != nil {
 				if !reject(req, "malformed get-tag: "+err.Error()) {
 					return
 				}
 				continue
 			}
+			if se := ns.core.Admit(opClient, epoch); se != nil {
+				if !nack(req, se) {
+					return
+				}
+				continue
+			}
 			bp := getFrame()
-			*bp = appendTagResp(*bp, req, ns.core.GetTag(key))
+			*bp = appendTagResp(*bp, req, cur(), ns.core.GetTag(key))
 			if !w.send(bp) {
 				return
 			}
 		case msgPutData:
-			_, key, t, elem, vlen, err := decodePutData(payload)
+			_, epoch, key, t, elem, vlen, err := decodePutData(payload)
 			if err != nil {
 				if !reject(req, "malformed put-data: "+err.Error()) {
 					return
 				}
 				continue
 			}
+			if se := ns.core.Admit(opClient, epoch); se != nil {
+				if !nack(req, se) {
+					return
+				}
+				continue
+			}
 			ns.core.PutData(key, t, elem, vlen)
 			bp := getFrame()
-			*bp = appendAck(*bp, req)
+			*bp = appendAck(*bp, req, cur())
 			if !w.send(bp) {
 				return
 			}
 		case msgGetElem:
-			_, key, err := decodeGetElem(payload)
+			_, epoch, key, err := decodeGetElem(payload)
 			if err != nil {
 				if !reject(req, "malformed get-elem: "+err.Error()) {
+					return
+				}
+				continue
+			}
+			if se := ns.core.Admit(opDonor, epoch); se != nil {
+				if !nack(req, se) {
 					return
 				}
 				continue
@@ -204,51 +280,95 @@ func (ns *NetServer) handle(conn net.Conn) {
 			t, elem, vlen := ns.core.Snapshot(key)
 			ns.core.Metrics().getElems.Add(1)
 			bp := getFrame()
-			*bp = appendElemResp(*bp, req, t, elem, vlen)
+			*bp = appendElemResp(*bp, req, cur(), t, elem, vlen)
 			if !w.send(bp) {
 				return
 			}
 		case msgRepairPut:
-			_, key, t, elem, vlen, err := decodeRepairPut(payload)
+			_, epoch, key, t, elem, vlen, err := decodeRepairPut(payload)
 			if err != nil {
 				if !reject(req, "malformed repair-put: "+err.Error()) {
 					return
 				}
 				continue
 			}
+			if se := ns.core.Admit(opRepair, epoch); se != nil {
+				if !nack(req, se) {
+					return
+				}
+				continue
+			}
 			accepted := ns.core.RepairPut(key, t, elem, vlen)
 			bp := getFrame()
-			*bp = appendRepairResp(*bp, req, accepted)
+			*bp = appendRepairResp(*bp, req, cur(), accepted)
 			if !w.send(bp) {
 				return
 			}
 		case msgKeys:
-			if _, err := decodeKeysReq(payload); err != nil {
+			_, epoch, err := decodeKeysReq(payload)
+			if err != nil {
 				if !reject(req, "malformed keys: "+err.Error()) {
 					return
 				}
 				continue
 			}
+			if se := ns.core.Admit(opDonor, epoch); se != nil {
+				if !nack(req, se) {
+					return
+				}
+				continue
+			}
 			bp := getFrame()
-			*bp = appendKeysResp(*bp, req, ns.core.Keys())
+			*bp = appendKeysResp(*bp, req, cur(), ns.core.Keys())
+			if !w.send(bp) {
+				return
+			}
+		case msgReconfig:
+			_, op, target, rn, rk, err := decodeReconfig(payload)
+			if err != nil {
+				if !reject(req, "malformed reconfig: "+err.Error()) {
+					return
+				}
+				continue
+			}
+			st, rerr := ns.core.Reconfig(op, target, rn, rk)
+			if rerr != nil {
+				if !reject(req, rerr.Error()) {
+					return
+				}
+				continue
+			}
+			bp := getFrame()
+			*bp = appendReconfigResp(*bp, req, st)
 			if !w.send(bp) {
 				return
 			}
 		case msgGetData:
-			_, key, rid, err := decodeGetData(payload)
+			_, epoch, key, rid, err := decodeGetData(payload)
 			if err != nil {
 				if !reject(req, "malformed get-data: "+err.Error()) {
 					return
 				}
 				continue
 			}
-			if _, dup := subs[req]; dup {
+			if se := ns.core.Admit(opClient, epoch); se != nil {
+				if !nack(req, se) {
+					return
+				}
+				continue
+			}
+			subMu.Lock()
+			_, dup := subs[req]
+			if !dup {
+				subs[req] = streamSub{key: key, rid: rid}
+			}
+			subMu.Unlock()
+			if dup {
 				if !reject(req, "get-data request id already streaming") {
 					return
 				}
 				continue
 			}
-			subs[req] = streamSub{key: key, rid: rid}
 			// The relay sink runs on whichever goroutine performs a
 			// put-data; it must never block on this connection, so it
 			// try-sends and kills the connection on overflow — a reader
@@ -263,6 +383,19 @@ func (ns *NetServer) handle(conn net.Conn) {
 				}
 			}
 			initial := ns.core.Register(key, rid, sink)
+			// A flip that lands between the admission check and the
+			// registration would leave a stream the epoch watcher already
+			// swept; re-checking after Register closes the race.
+			if se := ns.core.Admit(opClient, epoch); se != nil {
+				ns.core.Unregister(key, rid)
+				subMu.Lock()
+				delete(subs, req)
+				subMu.Unlock()
+				if !nack(req, se) {
+					return
+				}
+				continue
+			}
 			sink(initial)
 		case msgReaderDone:
 			if _, err := decodeReaderDone(payload); err != nil {
@@ -274,10 +407,12 @@ func (ns *NetServer) handle(conn net.Conn) {
 			// A reader-done for an unknown request id (a stream this
 			// server never saw, or one already torn down) is ignored:
 			// tear-down is idempotent.
+			subMu.Lock()
 			if sub, ok := subs[req]; ok {
 				ns.core.Unregister(sub.key, sub.rid)
 				delete(subs, req)
 			}
+			subMu.Unlock()
 		default:
 			// A type byte from a future protocol version (or garbage):
 			// tell the peer explicitly instead of a silent close, so a
@@ -438,25 +573,54 @@ func (p dialPolicy) dial(ctx context.Context, addr string) (net.Conn, error) {
 	return conn, err
 }
 
+// tcpOpts is the assembled client-conn configuration shared by the
+// dialing and multiplexed transports: the dial policy plus the
+// configuration epoch the conn stamps on every frame.
+type tcpOpts struct {
+	policy dialPolicy
+	epoch  uint64
+}
+
+func defaultTCPOpts() tcpOpts { return tcpOpts{policy: defaultDialPolicy()} }
+
 // TCPOption configures a client-side TCP conn (dialing or mux).
-type TCPOption func(*dialPolicy)
+type TCPOption func(*tcpOpts)
 
 // WithDialTimeout caps each dial attempt; the effective deadline is
 // the earlier of this and the operation context's.
 func WithDialTimeout(d time.Duration) TCPOption {
-	return func(p *dialPolicy) { p.timeout = d }
+	return func(o *tcpOpts) { o.policy.timeout = d }
 }
 
 // WithDialRetry sets how many times an operation attempts the dial
 // (minimum 1) and the backoff schedule between attempts.
 func WithDialRetry(attempts int, b Backoff) TCPOption {
-	return func(p *dialPolicy) {
+	return func(o *tcpOpts) {
 		if attempts < 1 {
 			attempts = 1
 		}
-		p.attempts = attempts
-		p.backoff = b
+		o.policy.attempts = attempts
+		o.policy.backoff = b
 	}
+}
+
+// WithConnEpoch stamps the conn with a configuration epoch: every
+// frame it sends carries the epoch, and the servers NACK anything
+// that does not match their own. A conn set built for one Config is
+// therefore single-epoch by construction — the heart of the
+// no-cross-epoch-quorum guarantee.
+func WithConnEpoch(epoch uint64) TCPOption {
+	return func(o *tcpOpts) { o.epoch = epoch }
+}
+
+// stampStale fills the server index into a StaleEpochError decoded
+// from the wire (the frame only knows the connection, not the shard).
+func stampStale(err error, idx int) error {
+	var se *StaleEpochError
+	if errors.As(err, &se) && se.Server == -1 {
+		se.Server = idx
+	}
+	return err
 }
 
 // tcpConn is the dial-per-operation client Conn for one server
@@ -464,17 +628,17 @@ func WithDialRetry(attempts int, b Backoff) TCPOption {
 // id 1 on it. MuxConn is the production path; this one survives as
 // the benchmark baseline and a zero-shared-state fallback.
 type tcpConn struct {
-	idx    int
-	addr   string
-	policy dialPolicy
+	idx   int
+	addr  string
+	opts  tcpOpts
 }
 
 // TCPConn returns a Conn that dials addr for each operation, acting
 // for the server at shard index idx.
 func TCPConn(idx int, addr string, opts ...TCPOption) Conn {
-	c := &tcpConn{idx: idx, addr: addr, policy: defaultDialPolicy()}
+	c := &tcpConn{idx: idx, addr: addr, opts: defaultTCPOpts()}
 	for _, opt := range opts {
-		opt(&c.policy)
+		opt(&c.opts)
 	}
 	return c
 }
@@ -498,7 +662,7 @@ const dialReq uint64 = 1
 // unary performs one request/response exchange on a fresh connection,
 // verifying the response echoes the request id.
 func (c *tcpConn) unary(ctx context.Context, req []byte) ([]byte, error) {
-	conn, err := c.policy.dial(ctx, c.addr)
+	conn, err := c.opts.policy.dial(ctx, c.addr)
 	if err != nil {
 		return nil, err
 	}
@@ -529,7 +693,7 @@ func checkReq(req uint64, name string) error {
 
 func (c *tcpConn) GetTag(ctx context.Context, key string) (Tag, error) {
 	bp := getFrame()
-	*bp = appendGetTag(*bp, dialReq, key)
+	*bp = appendGetTag(*bp, dialReq, c.opts.epoch, key)
 	payload, err := c.unary(ctx, *bp)
 	putFrame(bp)
 	if err != nil {
@@ -537,14 +701,14 @@ func (c *tcpConn) GetTag(ctx context.Context, key string) (Tag, error) {
 	}
 	req, t, err := decodeTagResp(payload)
 	if err != nil {
-		return Tag{}, err
+		return Tag{}, stampStale(err, c.idx)
 	}
 	return t, checkReq(req, "tag-resp")
 }
 
 func (c *tcpConn) PutData(ctx context.Context, key string, t Tag, elem []byte, vlen int) error {
 	bp := getFrame()
-	*bp = appendPutData(*bp, dialReq, key, t, elem, vlen)
+	*bp = appendPutData(*bp, dialReq, c.opts.epoch, key, t, elem, vlen)
 	payload, err := c.unary(ctx, *bp)
 	putFrame(bp)
 	if err != nil {
@@ -552,14 +716,14 @@ func (c *tcpConn) PutData(ctx context.Context, key string, t Tag, elem []byte, v
 	}
 	req, err := decodeAck(payload)
 	if err != nil {
-		return err
+		return stampStale(err, c.idx)
 	}
 	return checkReq(req, "ack")
 }
 
 func (c *tcpConn) GetElem(ctx context.Context, key string) (Tag, []byte, int, error) {
 	bp := getFrame()
-	*bp = appendGetElem(*bp, dialReq, key)
+	*bp = appendGetElem(*bp, dialReq, c.opts.epoch, key)
 	payload, err := c.unary(ctx, *bp)
 	putFrame(bp)
 	if err != nil {
@@ -567,14 +731,14 @@ func (c *tcpConn) GetElem(ctx context.Context, key string) (Tag, []byte, int, er
 	}
 	req, t, elem, vlen, err := decodeElemResp(payload)
 	if err != nil {
-		return Tag{}, nil, 0, err
+		return Tag{}, nil, 0, stampStale(err, c.idx)
 	}
 	return t, elem, vlen, checkReq(req, "elem-resp")
 }
 
 func (c *tcpConn) RepairPut(ctx context.Context, key string, t Tag, elem []byte, vlen int) (bool, error) {
 	bp := getFrame()
-	*bp = appendRepairPut(*bp, dialReq, key, t, elem, vlen)
+	*bp = appendRepairPut(*bp, dialReq, c.opts.epoch, key, t, elem, vlen)
 	payload, err := c.unary(ctx, *bp)
 	putFrame(bp)
 	if err != nil {
@@ -582,14 +746,14 @@ func (c *tcpConn) RepairPut(ctx context.Context, key string, t Tag, elem []byte,
 	}
 	req, accepted, err := decodeRepairResp(payload)
 	if err != nil {
-		return false, err
+		return false, stampStale(err, c.idx)
 	}
 	return accepted, checkReq(req, "repair-resp")
 }
 
 func (c *tcpConn) Keys(ctx context.Context) ([]string, error) {
 	bp := getFrame()
-	*bp = appendKeysReq(*bp, dialReq)
+	*bp = appendKeysReq(*bp, dialReq, c.opts.epoch)
 	payload, err := c.unary(ctx, *bp)
 	putFrame(bp)
 	if err != nil {
@@ -597,13 +761,31 @@ func (c *tcpConn) Keys(ctx context.Context) ([]string, error) {
 	}
 	req, keys, err := decodeKeysResp(payload)
 	if err != nil {
-		return nil, err
+		return nil, stampStale(err, c.idx)
 	}
 	return keys, checkReq(req, "keys-resp")
 }
 
+// Reconfig drives the server's epoch state machine on behalf of a
+// reconfiguration coordinator. Reconfig frames are not themselves
+// epoch-checked: they are what moves the epoch.
+func (c *tcpConn) Reconfig(ctx context.Context, op ReconfigOp, target uint64, n, k int) (EpochStatus, error) {
+	bp := getFrame()
+	*bp = appendReconfig(*bp, dialReq, op, target, n, k)
+	payload, err := c.unary(ctx, *bp)
+	putFrame(bp)
+	if err != nil {
+		return EpochStatus{}, err
+	}
+	req, st, err := decodeReconfigResp(payload)
+	if err != nil {
+		return EpochStatus{}, err
+	}
+	return st, checkReq(req, "reconfig-resp")
+}
+
 func (c *tcpConn) GetData(ctx context.Context, key, readerID string, deliver func(Delivery)) error {
-	conn, err := c.policy.dial(ctx, c.addr)
+	conn, err := c.opts.policy.dial(ctx, c.addr)
 	if err != nil {
 		return err
 	}
@@ -618,7 +800,7 @@ func (c *tcpConn) GetData(ctx context.Context, key, readerID string, deliver fun
 		wmu.Lock()
 		conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
 		bp := getFrame()
-		*bp = appendReaderDone(*bp, dialReq)
+		*bp = appendReaderDone(*bp, dialReq, c.opts.epoch)
 		writeFrame(conn, *bp)
 		putFrame(bp)
 		wmu.Unlock()
@@ -626,7 +808,7 @@ func (c *tcpConn) GetData(ctx context.Context, key, readerID string, deliver fun
 	})
 	defer stop()
 	bp := getFrame()
-	*bp = appendGetData(*bp, dialReq, key, readerID)
+	*bp = appendGetData(*bp, dialReq, c.opts.epoch, key, readerID)
 	wmu.Lock()
 	err = writeFrame(conn, *bp)
 	wmu.Unlock()
@@ -647,7 +829,7 @@ func (c *tcpConn) GetData(ctx context.Context, key, readerID string, deliver fun
 		buf = payload // reuse: decodeData copies the element out
 		_, d, err := decodeData(payload)
 		if err != nil {
-			return err
+			return stampStale(err, c.idx)
 		}
 		d.Server = c.idx
 		deliver(d)

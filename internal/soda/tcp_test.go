@@ -193,7 +193,7 @@ func TestTCPUnknownTypeByte(t *testing.T) {
 	c := conns[0].(*tcpConn)
 
 	// Unknown type byte under a well-formed header.
-	payload, err := c.unary(ctx, appendHeader(nil, 0xFF, 7))
+	payload, err := c.unary(ctx, appendHeader(nil, 0xFF, 7, 0))
 	if err != nil {
 		t.Fatalf("unary: %v", err)
 	}
@@ -207,7 +207,7 @@ func TestTCPUnknownTypeByte(t *testing.T) {
 	}
 
 	// A malformed known-type message gets the same treatment.
-	payload, err = c.unary(ctx, append(appendHeader(nil, msgPutData, 9), 0xDE, 0xAD))
+	payload, err = c.unary(ctx, append(appendHeader(nil, msgPutData, 9, 0), 0xDE, 0xAD))
 	if err != nil {
 		t.Fatalf("unary: %v", err)
 	}

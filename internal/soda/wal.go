@@ -75,6 +75,7 @@ const (
 	walOpPut    byte = 1 // put-data: apply iff tag > current
 	walOpRepair byte = 2 // repair-put: apply iff tag >= current
 	walOpWipe   byte = 3 // wipe: clear the key
+	walOpEpoch  byte = 4 // configuration-epoch transition (seal or activate); keyless
 )
 
 // walHeaderLen is the fixed record prefix: uint32 length + uint32 CRC.
@@ -90,7 +91,10 @@ var (
 	errWALClosed = errors.New("soda: wal closed")
 )
 
-// walRecord is one decoded log record.
+// walRecord is one decoded log record. Epoch transitions are keyless:
+// est holds the full post-transition state (active epoch + geometry,
+// pending epoch + geometry while sealed) so replaying the record alone
+// restores the server's configuration view.
 type walRecord struct {
 	lsn  uint64
 	op   byte
@@ -98,6 +102,7 @@ type walRecord struct {
 	tag  Tag
 	elem []byte
 	vlen int
+	est  epochState // walOpEpoch only
 }
 
 // appendWALRecord appends rec's framed encoding to b.
@@ -106,8 +111,23 @@ func appendWALRecord(b []byte, rec walRecord) []byte {
 	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc, patched below
 	b = binary.BigEndian.AppendUint64(b, rec.lsn)
 	b = append(b, rec.op)
-	b = appendKey(b, rec.key)
-	if rec.op != walOpWipe {
+	switch rec.op {
+	case walOpEpoch:
+		b = binary.BigEndian.AppendUint64(b, rec.est.epoch)
+		b = binary.BigEndian.AppendUint64(b, rec.est.pending)
+		var sealed byte
+		if rec.est.sealed {
+			sealed = 1
+		}
+		b = append(b, sealed)
+		b = binary.BigEndian.AppendUint16(b, uint16(rec.est.n))
+		b = binary.BigEndian.AppendUint16(b, uint16(rec.est.k))
+		b = binary.BigEndian.AppendUint16(b, uint16(rec.est.pn))
+		b = binary.BigEndian.AppendUint16(b, uint16(rec.est.pk))
+	case walOpWipe:
+		b = appendKey(b, rec.key)
+	default:
+		b = appendKey(b, rec.key)
 		b = appendTag(b, rec.tag)
 		b = binary.BigEndian.AppendUint32(b, uint32(rec.vlen))
 		b = appendBytes(b, rec.elem)
@@ -141,9 +161,9 @@ func parseWALRecord(data []byte) (walRecord, int, error) {
 	var rec walRecord
 	rec.lsn = c.u64()
 	rec.op = c.u8()
-	rec.key = c.key()
 	switch rec.op {
 	case walOpPut, walOpRepair:
+		rec.key = c.key()
 		rec.tag = c.tag()
 		vlen := c.u32()
 		rec.elem = c.bytes()
@@ -152,6 +172,15 @@ func parseWALRecord(data []byte) (walRecord, int, error) {
 		}
 		rec.vlen = int(vlen)
 	case walOpWipe:
+		rec.key = c.key()
+	case walOpEpoch:
+		rec.est.epoch = c.u64()
+		rec.est.pending = c.u64()
+		rec.est.sealed = c.u8() == 1
+		rec.est.n = int(c.u16())
+		rec.est.k = int(c.u16())
+		rec.est.pn = int(c.u16())
+		rec.est.pk = int(c.u16())
 	default:
 		c.failed = true
 	}
@@ -204,6 +233,13 @@ func walSegments(dir string) ([]walSegment, error) {
 // counter, and the fsync policy. A write failure latches into err and
 // degrades the wal (appends report the error, state keeps serving from
 // memory) rather than wedging the server.
+//
+// Under FsyncAlways, appends group-commit: the record is written under
+// mu, mu is released, and the fsync happens under syncMu — one leader
+// syncs while followers queue behind it, and a follower whose bytes
+// the leader's sync already covered (synced >= its target) skips its
+// own fsync entirely. N concurrent appends cost at most two fsyncs
+// instead of N.
 type wal struct {
 	mu     sync.Mutex
 	dir    string
@@ -216,7 +252,21 @@ type wal struct {
 	dirty  bool
 	buf    []byte
 	err    error
+
+	// syncMu serializes FsyncAlways group commits; held while the
+	// leader's fsync runs so followers coalesce behind it.
+	syncMu sync.Mutex
+
+	// failAfter, when positive, injects a disk fault: the append that
+	// would push the segment past failAfter bytes fails (and latches)
+	// instead of writing — the disk-full / IO-error soak's hook.
+	failAfter int64
+
+	metrics *Metrics // optional; counts coalesced group-commit syncs
 }
+
+// errDiskFull is the injected append failure for the disk-fault soak.
+var errDiskFull = errors.New("soda: wal: no space left on device (injected)")
 
 // openSegment makes segment seq the active file, appending to whatever
 // it already holds (recovery reopens the tail segment). Existing bytes
@@ -238,35 +288,92 @@ func (w *wal) openSegment(seq uint64) error {
 
 // append assigns the next lsn and logs one mutation, honoring the
 // fsync mode. It returns the active segment's size so the caller can
-// decide whether a snapshot is due.
-func (w *wal) append(op byte, key string, t Tag, elem []byte, vlen int) (int64, error) {
+// decide whether a snapshot is due. forceSync syncs the record
+// regardless of mode (epoch transitions are too rare and too important
+// to lose to an fsync policy).
+func (w *wal) append(rec walRecord, forceSync bool) (int64, error) {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.err != nil {
+		defer w.mu.Unlock()
 		return w.size, w.err
 	}
 	w.lsn++
-	w.buf = appendWALRecord(w.buf[:0], walRecord{lsn: w.lsn, op: op, key: key, tag: t, elem: elem, vlen: vlen})
+	rec.lsn = w.lsn
+	w.buf = appendWALRecord(w.buf[:0], rec)
 	recLen := int64(len(w.buf))
+	if w.failAfter > 0 && w.size+recLen > w.failAfter {
+		w.err = errDiskFull
+		defer w.mu.Unlock()
+		return w.size, w.err
+	}
 	_, err := w.f.Write(w.buf)
 	if cap(w.buf) > maxPooledFrame {
 		w.buf = nil // a huge value passed through; don't pin its buffer
 	}
 	if err != nil {
 		w.err = err
+		defer w.mu.Unlock()
 		return w.size, err
 	}
 	w.size += recLen
-	if w.mode == FsyncAlways {
-		if err := w.f.Sync(); err != nil {
-			w.err = err
-			return w.size, err
+	w.dirty = true
+	size, seq := w.size, w.seq
+	w.mu.Unlock()
+	if w.mode == FsyncAlways || forceSync {
+		if err := w.syncTo(seq, size); err != nil {
+			return size, err
 		}
-		w.synced = w.size
-	} else {
-		w.dirty = true
 	}
-	return w.size, nil
+	return size, nil
+}
+
+// syncTo ensures the first target bytes of segment seq are durable,
+// group-committing with concurrent appenders: whoever holds syncMu
+// syncs for everyone queued behind it, and a caller whose target was
+// covered while it waited returns without touching the disk. A rotated
+// segment is already durable (rotation syncs before closing), so a seq
+// mismatch is success.
+func (w *wal) syncTo(seq uint64, target int64) error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	if w.seq != seq || w.synced >= target {
+		w.mu.Unlock()
+		if w.metrics != nil {
+			w.metrics.walGroupSyncs.Add(1)
+		}
+		return nil
+	}
+	f, size := w.f, w.size
+	w.mu.Unlock()
+	// The fsync runs outside mu so appenders keep writing while it
+	// spins; everything written before this call is covered, and the
+	// conservative watermark (size captured above) only under-reports.
+	err := f.Sync()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err != nil {
+		if w.seq != seq {
+			// The segment rotated away mid-sync (rotation synced and
+			// closed it); our bytes are durable and the error is the
+			// closed file, not the disk.
+			return nil
+		}
+		if w.err == nil {
+			w.err = err
+		}
+		return w.err
+	}
+	if w.seq == seq && size > w.synced {
+		w.synced = size
+		w.dirty = w.synced < w.size
+	}
+	return nil
 }
 
 func (w *wal) sync() error {

@@ -15,7 +15,14 @@ import (
 //
 // and every payload starts with a fixed header:
 //
-//	byte type | uint64 request-id
+//	byte type | uint64 request-id | uint64 epoch
+//
+// The epoch is the configuration epoch the sender believes the cluster
+// is in (see config.go). A client stamps every request with its
+// config's epoch; a server NACKs any request whose epoch does not
+// match its own with msgEpochNack, so a quorum can never mix two
+// geometries — each completed operation's response set comes from
+// exactly one epoch. Responses carry the server's current epoch.
 //
 // The request id is chosen by the client and echoed verbatim on every
 // response, so one long-lived connection can carry many concurrent
@@ -48,6 +55,10 @@ const (
 	msgError      byte = 12 // s->c: {message}: explicit protocol error for request id
 	msgKeys       byte = 13 // c->s: enumerate the server's non-empty keys
 	msgKeysResp   byte = 14 // s->c: {count, key...}
+
+	msgEpochNack     byte = 15 // s->c: {want, sealed}: frame epoch rejected; header carries server's epoch
+	msgReconfig      byte = 16 // c->s: coordinator op {op, epoch, n, k}: status/seal/activate
+	msgReconfigResp  byte = 17 // s->c: {epoch, pending, sealed}: the server's epoch state
 )
 
 // maxFrame bounds a frame payload; a peer announcing more is treated
@@ -61,12 +72,61 @@ const maxKeyLen = 255
 // maxKeys bounds a keys-resp enumeration a peer can make us allocate.
 const maxKeys = 1 << 20
 
-// headerLen is the fixed payload prefix: type byte + uint64 request id.
-const headerLen = 1 + 8
+// headerLen is the fixed payload prefix: type byte + uint64 request id
+// + uint64 epoch.
+const headerLen = 1 + 8 + 8
 
 var (
 	// ErrFrame is returned for malformed or oversized frames.
 	ErrFrame = errors.New("soda: malformed wire frame")
+
+	// ErrStaleEpoch is the sentinel every epoch rejection matches: the
+	// frame's configuration epoch and the server's did not agree (or
+	// the server is sealed for a flip). Clients react by refetching the
+	// current Config and retrying the whole operation under it.
+	ErrStaleEpoch = errors.New("soda: stale configuration epoch")
+)
+
+// StaleEpochError is a server's typed epoch NACK. ServerEpoch is the
+// epoch the server is in; Want is the smallest epoch the client should
+// present (the pending epoch while the server is sealed mid-flip);
+// Sealed reports that a reconfiguration is in progress. It matches
+// errors.Is(err, ErrStaleEpoch).
+type StaleEpochError struct {
+	Server      int    // server shard index, -1 when unknown
+	ServerEpoch uint64 // epoch the server is serving (or sealed at)
+	Want        uint64 // epoch the client should retry with
+	Sealed      bool   // a flip to Want is in progress
+}
+
+func (e *StaleEpochError) Error() string {
+	state := "active"
+	if e.Sealed {
+		state = "sealed"
+	}
+	return fmt.Sprintf("soda: stale configuration epoch: server %d at epoch %d (%s), want %d",
+		e.Server, e.ServerEpoch, state, e.Want)
+}
+
+func (e *StaleEpochError) Is(target error) bool { return target == ErrStaleEpoch }
+
+// EpochStatus is a server's configuration-epoch state as reported on
+// the wire: the active epoch and its [N,K] geometry, and — while
+// sealed for a two-phase flip — the pending epoch being migrated to.
+type EpochStatus struct {
+	Epoch   uint64
+	Pending uint64
+	Sealed  bool
+	N, K    int
+}
+
+// ReconfigOp selects what a msgReconfig frame asks a server to do.
+type ReconfigOp byte
+
+const (
+	ReconfigStatus   ReconfigOp = 0 // report epoch state, change nothing
+	ReconfigSeal     ReconfigOp = 1 // seal the current epoch, pending the target
+	ReconfigActivate ReconfigOp = 2 // activate the target epoch (requires a matching seal)
 )
 
 // FrameError is the typed form of a decode failure: which message was
@@ -174,16 +234,17 @@ func peekHeader(payload []byte) (typ byte, req uint64, ok bool) {
 	if len(payload) < headerLen {
 		return 0, 0, false
 	}
-	return payload[0], binary.BigEndian.Uint64(payload[1:headerLen]), true
+	return payload[0], binary.BigEndian.Uint64(payload[1:9]), true
 }
 
 // Append-style encoders. Each appends a complete payload (header
 // included) to b and returns the extended slice, so hot paths encode
 // into pooled buffers.
 
-func appendHeader(b []byte, typ byte, req uint64) []byte {
+func appendHeader(b []byte, typ byte, req, epoch uint64) []byte {
 	b = append(b, typ)
-	return binary.BigEndian.AppendUint64(b, req)
+	b = binary.BigEndian.AppendUint64(b, req)
+	return binary.BigEndian.AppendUint64(b, epoch)
 }
 
 func appendTag(b []byte, t Tag) []byte {
@@ -210,30 +271,32 @@ func appendBytes(b, p []byte) []byte {
 	return append(b, p...)
 }
 
-func appendGetTag(b []byte, req uint64, key string) []byte {
-	return appendKey(appendHeader(b, msgGetTag, req), key)
+func appendGetTag(b []byte, req, epoch uint64, key string) []byte {
+	return appendKey(appendHeader(b, msgGetTag, req, epoch), key)
 }
 
-func appendTagResp(b []byte, req uint64, t Tag) []byte {
-	return appendTag(appendHeader(b, msgTagResp, req), t)
+func appendTagResp(b []byte, req, epoch uint64, t Tag) []byte {
+	return appendTag(appendHeader(b, msgTagResp, req, epoch), t)
 }
 
-func appendPutData(b []byte, req uint64, key string, t Tag, elem []byte, vlen int) []byte {
-	b = appendKey(appendHeader(b, msgPutData, req), key)
+func appendPutData(b []byte, req, epoch uint64, key string, t Tag, elem []byte, vlen int) []byte {
+	b = appendKey(appendHeader(b, msgPutData, req, epoch), key)
 	b = appendTag(b, t)
 	b = binary.BigEndian.AppendUint32(b, uint32(vlen))
 	return appendBytes(b, elem)
 }
 
-func appendAck(b []byte, req uint64) []byte { return appendHeader(b, msgAck, req) }
+func appendAck(b []byte, req, epoch uint64) []byte { return appendHeader(b, msgAck, req, epoch) }
 
-func appendGetData(b []byte, req uint64, key, readerID string) []byte {
-	b = appendKey(appendHeader(b, msgGetData, req), key)
+func appendGetData(b []byte, req, epoch uint64, key, readerID string) []byte {
+	b = appendKey(appendHeader(b, msgGetData, req, epoch), key)
 	return appendBytes(b, []byte(readerID))
 }
 
+// appendData stamps the delivery's own epoch into the header: a relay
+// element belongs to the configuration the server held it under.
 func appendData(b []byte, req uint64, d Delivery) []byte {
-	b = appendTag(appendHeader(b, msgData, req), d.Tag)
+	b = appendTag(appendHeader(b, msgData, req, d.Epoch), d.Tag)
 	b = binary.BigEndian.AppendUint32(b, uint32(d.VLen))
 	var initial byte
 	if d.Initial {
@@ -243,42 +306,78 @@ func appendData(b []byte, req uint64, d Delivery) []byte {
 	return appendBytes(b, d.Elem)
 }
 
-func appendReaderDone(b []byte, req uint64) []byte { return appendHeader(b, msgReaderDone, req) }
-
-func appendGetElem(b []byte, req uint64, key string) []byte {
-	return appendKey(appendHeader(b, msgGetElem, req), key)
+func appendReaderDone(b []byte, req, epoch uint64) []byte {
+	return appendHeader(b, msgReaderDone, req, epoch)
 }
 
-func appendElemResp(b []byte, req uint64, t Tag, elem []byte, vlen int) []byte {
-	b = appendTag(appendHeader(b, msgElemResp, req), t)
+func appendGetElem(b []byte, req, epoch uint64, key string) []byte {
+	return appendKey(appendHeader(b, msgGetElem, req, epoch), key)
+}
+
+func appendElemResp(b []byte, req, epoch uint64, t Tag, elem []byte, vlen int) []byte {
+	b = appendTag(appendHeader(b, msgElemResp, req, epoch), t)
 	b = binary.BigEndian.AppendUint32(b, uint32(vlen))
 	return appendBytes(b, elem)
 }
 
-func appendRepairPut(b []byte, req uint64, key string, t Tag, elem []byte, vlen int) []byte {
-	b = appendKey(appendHeader(b, msgRepairPut, req), key)
+func appendRepairPut(b []byte, req, epoch uint64, key string, t Tag, elem []byte, vlen int) []byte {
+	b = appendKey(appendHeader(b, msgRepairPut, req, epoch), key)
 	b = appendTag(b, t)
 	b = binary.BigEndian.AppendUint32(b, uint32(vlen))
 	return appendBytes(b, elem)
 }
 
-func appendRepairResp(b []byte, req uint64, accepted bool) []byte {
+func appendRepairResp(b []byte, req, epoch uint64, accepted bool) []byte {
 	var a byte
 	if accepted {
 		a = 1
 	}
-	return append(appendHeader(b, msgRepairResp, req), a)
+	return append(appendHeader(b, msgRepairResp, req, epoch), a)
 }
 
-func appendKeysReq(b []byte, req uint64) []byte { return appendHeader(b, msgKeys, req) }
+func appendKeysReq(b []byte, req, epoch uint64) []byte { return appendHeader(b, msgKeys, req, epoch) }
 
-func appendKeysResp(b []byte, req uint64, keys []string) []byte {
-	b = appendHeader(b, msgKeysResp, req)
+func appendKeysResp(b []byte, req, epoch uint64, keys []string) []byte {
+	b = appendHeader(b, msgKeysResp, req, epoch)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(keys)))
 	for _, k := range keys {
 		b = appendKey(b, k)
 	}
 	return b
+}
+
+// appendEpochNack encodes a server's epoch rejection: the header epoch
+// is the server's active epoch, the body the epoch the client should
+// retry with and whether a flip is in progress.
+func appendEpochNack(b []byte, req uint64, st EpochStatus, want uint64) []byte {
+	b = appendHeader(b, msgEpochNack, req, st.Epoch)
+	b = binary.BigEndian.AppendUint64(b, want)
+	var sealed byte
+	if st.Sealed {
+		sealed = 1
+	}
+	return append(b, sealed)
+}
+
+func appendReconfig(b []byte, req uint64, op ReconfigOp, epoch uint64, n, k int) []byte {
+	b = appendHeader(b, msgReconfig, req, 0)
+	b = append(b, byte(op))
+	b = binary.BigEndian.AppendUint64(b, epoch)
+	b = binary.BigEndian.AppendUint16(b, uint16(n))
+	return binary.BigEndian.AppendUint16(b, uint16(k))
+}
+
+func appendReconfigResp(b []byte, req uint64, st EpochStatus) []byte {
+	b = appendHeader(b, msgReconfigResp, req, st.Epoch)
+	b = binary.BigEndian.AppendUint64(b, st.Epoch)
+	b = binary.BigEndian.AppendUint64(b, st.Pending)
+	var sealed byte
+	if st.Sealed {
+		sealed = 1
+	}
+	b = append(b, sealed)
+	b = binary.BigEndian.AppendUint16(b, uint16(st.N))
+	return binary.BigEndian.AppendUint16(b, uint16(st.K))
 }
 
 // maxErrorMsg caps the error-frame text a peer can make us relay or
@@ -289,7 +388,7 @@ func appendError(b []byte, req uint64, msg string) []byte {
 	if len(msg) > maxErrorMsg {
 		msg = msg[:maxErrorMsg]
 	}
-	return appendBytes(appendHeader(b, msgError, req), []byte(msg))
+	return appendBytes(appendHeader(b, msgError, req, 0), []byte(msg))
 }
 
 // cursor is a bounds-checked payload parser: every getter records an
@@ -388,25 +487,41 @@ func (c *cursor) err(want string) error {
 // returns the request id from the header so unary callers can detect a
 // response routed to the wrong exchange.
 
-// header begins decoding: it consumes the type byte and request id,
-// intercepting error frames and reporting unexpected types as typed
-// errors.
-func header(c *cursor, want byte, name string) (uint64, error) {
+// header begins decoding: it consumes the type byte, request id, and
+// epoch, intercepting error and epoch-nack frames and reporting
+// unexpected types as typed errors.
+func header(c *cursor, want byte, name string) (uint64, uint64, error) {
 	if len(c.b) == 0 {
-		return 0, &FrameError{Want: name, Msg: "empty payload"}
+		return 0, 0, &FrameError{Want: name, Msg: "empty payload"}
 	}
 	got := c.u8()
 	req := c.u64()
+	epoch := c.u64()
 	if c.failed {
-		return 0, &FrameError{Want: name, Got: got, Msg: "truncated header"}
+		return 0, 0, &FrameError{Want: name, Got: got, Msg: "truncated header"}
 	}
 	if got == want {
-		return req, nil
+		return req, epoch, nil
 	}
 	if got == msgError {
-		return req, decodeErrorTail(c)
+		return req, epoch, decodeErrorTail(c)
 	}
-	return req, &FrameError{Want: name, Got: got, Msg: fmt.Sprintf("unexpected message type %#x", got)}
+	if got == msgEpochNack {
+		return req, epoch, decodeEpochNackTail(c, epoch)
+	}
+	return req, epoch, &FrameError{Want: name, Got: got, Msg: fmt.Sprintf("unexpected message type %#x", got)}
+}
+
+// decodeEpochNackTail parses the remainder of an msgEpochNack payload
+// (the header already consumed; serverEpoch came from it) into the
+// typed rejection every client path surfaces.
+func decodeEpochNackTail(c *cursor, serverEpoch uint64) error {
+	want := c.u64()
+	sealed := c.u8() == 1
+	if err := c.err("epoch-nack"); err != nil {
+		return err
+	}
+	return &StaleEpochError{Server: -1, ServerEpoch: serverEpoch, Want: want, Sealed: sealed}
 }
 
 // decodeErrorTail parses the remainder of an msgError payload (the
@@ -432,28 +547,32 @@ func decodeError(payload []byte) (uint64, error) {
 	}
 	got := c.u8()
 	req := c.u64()
+	epoch := c.u64()
 	if c.failed {
 		return 0, &FrameError{Want: "error", Got: got, Msg: "truncated header"}
 	}
-	if got != msgError {
-		return req, &FrameError{Want: "error", Got: got, Msg: fmt.Sprintf("unexpected message type %#x", got)}
+	switch got {
+	case msgError:
+		return req, decodeErrorTail(c)
+	case msgEpochNack:
+		return req, decodeEpochNackTail(c, epoch)
 	}
-	return req, decodeErrorTail(c)
+	return req, &FrameError{Want: "error", Got: got, Msg: fmt.Sprintf("unexpected message type %#x", got)}
 }
 
-func decodeGetTag(payload []byte) (uint64, string, error) {
+func decodeGetTag(payload []byte) (uint64, uint64, string, error) {
 	c := &cursor{b: payload}
-	req, err := header(c, msgGetTag, "get-tag")
+	req, epoch, err := header(c, msgGetTag, "get-tag")
 	if err != nil {
-		return req, "", err
+		return req, epoch, "", err
 	}
 	key := c.key()
-	return req, key, c.err("get-tag")
+	return req, epoch, key, c.err("get-tag")
 }
 
 func decodeTagResp(payload []byte) (uint64, Tag, error) {
 	c := &cursor{b: payload}
-	req, err := header(c, msgTagResp, "tag-resp")
+	req, _, err := header(c, msgTagResp, "tag-resp")
 	if err != nil {
 		return req, Tag{}, err
 	}
@@ -473,35 +592,36 @@ func decodeTaggedElem(c *cursor, name string) (Tag, []byte, int, error) {
 	return t, elem, int(vlen), c.err(name)
 }
 
-func decodePutData(payload []byte) (uint64, string, Tag, []byte, int, error) {
+func decodePutData(payload []byte) (uint64, uint64, string, Tag, []byte, int, error) {
 	c := &cursor{b: payload}
-	req, err := header(c, msgPutData, "put-data")
+	req, epoch, err := header(c, msgPutData, "put-data")
 	if err != nil {
-		return req, "", Tag{}, nil, 0, err
+		return req, epoch, "", Tag{}, nil, 0, err
 	}
 	key := c.key()
 	t, elem, vlen, err := decodeTaggedElem(c, "put-data")
-	return req, key, t, elem, vlen, err
+	return req, epoch, key, t, elem, vlen, err
 }
 
-func decodeGetData(payload []byte) (uint64, string, string, error) {
+func decodeGetData(payload []byte) (uint64, uint64, string, string, error) {
 	c := &cursor{b: payload}
-	req, err := header(c, msgGetData, "get-data")
+	req, epoch, err := header(c, msgGetData, "get-data")
 	if err != nil {
-		return req, "", "", err
+		return req, epoch, "", "", err
 	}
 	key := c.key()
 	rid := string(c.bytes())
-	return req, key, rid, c.err("get-data")
+	return req, epoch, key, rid, c.err("get-data")
 }
 
 func decodeData(payload []byte) (uint64, Delivery, error) {
 	c := &cursor{b: payload}
-	req, err := header(c, msgData, "data")
+	req, epoch, err := header(c, msgData, "data")
 	if err != nil {
 		return req, Delivery{}, err
 	}
 	var d Delivery
+	d.Epoch = epoch
 	d.Tag = c.tag()
 	vlen := c.u32()
 	if vlen > math.MaxInt32 {
@@ -515,26 +635,26 @@ func decodeData(payload []byte) (uint64, Delivery, error) {
 
 func decodeReaderDone(payload []byte) (uint64, error) {
 	c := &cursor{b: payload}
-	req, err := header(c, msgReaderDone, "reader-done")
+	req, _, err := header(c, msgReaderDone, "reader-done")
 	if err != nil {
 		return req, err
 	}
 	return req, c.err("reader-done")
 }
 
-func decodeGetElem(payload []byte) (uint64, string, error) {
+func decodeGetElem(payload []byte) (uint64, uint64, string, error) {
 	c := &cursor{b: payload}
-	req, err := header(c, msgGetElem, "get-elem")
+	req, epoch, err := header(c, msgGetElem, "get-elem")
 	if err != nil {
-		return req, "", err
+		return req, epoch, "", err
 	}
 	key := c.key()
-	return req, key, c.err("get-elem")
+	return req, epoch, key, c.err("get-elem")
 }
 
 func decodeElemResp(payload []byte) (uint64, Tag, []byte, int, error) {
 	c := &cursor{b: payload}
-	req, err := header(c, msgElemResp, "elem-resp")
+	req, _, err := header(c, msgElemResp, "elem-resp")
 	if err != nil {
 		return req, Tag{}, nil, 0, err
 	}
@@ -542,20 +662,20 @@ func decodeElemResp(payload []byte) (uint64, Tag, []byte, int, error) {
 	return req, t, elem, vlen, err
 }
 
-func decodeRepairPut(payload []byte) (uint64, string, Tag, []byte, int, error) {
+func decodeRepairPut(payload []byte) (uint64, uint64, string, Tag, []byte, int, error) {
 	c := &cursor{b: payload}
-	req, err := header(c, msgRepairPut, "repair-put")
+	req, epoch, err := header(c, msgRepairPut, "repair-put")
 	if err != nil {
-		return req, "", Tag{}, nil, 0, err
+		return req, epoch, "", Tag{}, nil, 0, err
 	}
 	key := c.key()
 	t, elem, vlen, err := decodeTaggedElem(c, "repair-put")
-	return req, key, t, elem, vlen, err
+	return req, epoch, key, t, elem, vlen, err
 }
 
 func decodeAck(payload []byte) (uint64, error) {
 	c := &cursor{b: payload}
-	req, err := header(c, msgAck, "ack")
+	req, _, err := header(c, msgAck, "ack")
 	if err != nil {
 		return req, err
 	}
@@ -564,7 +684,7 @@ func decodeAck(payload []byte) (uint64, error) {
 
 func decodeRepairResp(payload []byte) (uint64, bool, error) {
 	c := &cursor{b: payload}
-	req, err := header(c, msgRepairResp, "repair-resp")
+	req, _, err := header(c, msgRepairResp, "repair-resp")
 	if err != nil {
 		return req, false, err
 	}
@@ -572,18 +692,18 @@ func decodeRepairResp(payload []byte) (uint64, bool, error) {
 	return req, accepted, c.err("repair-resp")
 }
 
-func decodeKeysReq(payload []byte) (uint64, error) {
+func decodeKeysReq(payload []byte) (uint64, uint64, error) {
 	c := &cursor{b: payload}
-	req, err := header(c, msgKeys, "keys")
+	req, epoch, err := header(c, msgKeys, "keys")
 	if err != nil {
-		return req, err
+		return req, epoch, err
 	}
-	return req, c.err("keys")
+	return req, epoch, c.err("keys")
 }
 
 func decodeKeysResp(payload []byte) (uint64, []string, error) {
 	c := &cursor{b: payload}
-	req, err := header(c, msgKeysResp, "keys-resp")
+	req, _, err := header(c, msgKeysResp, "keys-resp")
 	if err != nil {
 		return req, nil, err
 	}
@@ -602,4 +722,51 @@ func decodeKeysResp(payload []byte) (uint64, []string, error) {
 		return req, nil, err
 	}
 	return req, keys, nil
+}
+
+// decodeEpochNack parses a standalone msgEpochNack frame (the demux
+// pump routes one to a stream it must tear down).
+func decodeEpochNack(payload []byte) (uint64, error) {
+	c := &cursor{b: payload}
+	if len(c.b) == 0 {
+		return 0, &FrameError{Want: "epoch-nack", Msg: "empty payload"}
+	}
+	got := c.u8()
+	req := c.u64()
+	epoch := c.u64()
+	if c.failed {
+		return 0, &FrameError{Want: "epoch-nack", Got: got, Msg: "truncated header"}
+	}
+	if got != msgEpochNack {
+		return req, &FrameError{Want: "epoch-nack", Got: got, Msg: fmt.Sprintf("unexpected message type %#x", got)}
+	}
+	return req, decodeEpochNackTail(c, epoch)
+}
+
+func decodeReconfig(payload []byte) (uint64, ReconfigOp, uint64, int, int, error) {
+	c := &cursor{b: payload}
+	req, _, err := header(c, msgReconfig, "reconfig")
+	if err != nil {
+		return req, 0, 0, 0, 0, err
+	}
+	op := ReconfigOp(c.u8())
+	epoch := c.u64()
+	n := int(c.u16())
+	k := int(c.u16())
+	return req, op, epoch, n, k, c.err("reconfig")
+}
+
+func decodeReconfigResp(payload []byte) (uint64, EpochStatus, error) {
+	c := &cursor{b: payload}
+	req, _, err := header(c, msgReconfigResp, "reconfig-resp")
+	if err != nil {
+		return req, EpochStatus{}, err
+	}
+	var st EpochStatus
+	st.Epoch = c.u64()
+	st.Pending = c.u64()
+	st.Sealed = c.u8() == 1
+	st.N = int(c.u16())
+	st.K = int(c.u16())
+	return req, st, c.err("reconfig-resp")
 }

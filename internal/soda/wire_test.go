@@ -47,6 +47,7 @@ func TestWireRoundTrip(t *testing.T) {
 	elem := []byte{1, 2, 3, 4, 5}
 	const key = "accounts/42"
 	const req = uint64(0xDEADBEEF01)
+	const ep = uint64(7)
 
 	roundtrip := func(payload []byte) []byte {
 		t.Helper()
@@ -65,20 +66,20 @@ func TestWireRoundTrip(t *testing.T) {
 		return got
 	}
 
-	gr, gk, err := decodeGetTag(roundtrip(appendGetTag(nil, req, key)))
-	if err != nil || gr != req || gk != key {
-		t.Fatalf("get-tag round trip = %d %q, %v", gr, gk, err)
+	gr, gep, gk, err := decodeGetTag(roundtrip(appendGetTag(nil, req, ep, key)))
+	if err != nil || gr != req || gep != ep || gk != key {
+		t.Fatalf("get-tag round trip = %d %d %q, %v", gr, gep, gk, err)
 	}
-	if gr, got, err := decodeTagResp(roundtrip(appendTagResp(nil, req, tag))); err != nil || gr != req || got != tag {
+	if gr, got, err := decodeTagResp(roundtrip(appendTagResp(nil, req, ep, tag))); err != nil || gr != req || got != tag {
 		t.Fatalf("tag-resp round trip = %d %v, %v", gr, got, err)
 	}
-	gr, gk, gt, ge, gv, err := decodePutData(roundtrip(appendPutData(nil, req, key, tag, elem, 99)))
-	if err != nil || gr != req || gk != key || gt != tag || gv != 99 || !bytes.Equal(ge, elem) {
-		t.Fatalf("put-data round trip = %d %q %v %v %d, %v", gr, gk, gt, ge, gv, err)
+	gr, gep, gk, gt, ge, gv, err := decodePutData(roundtrip(appendPutData(nil, req, ep, key, tag, elem, 99)))
+	if err != nil || gr != req || gep != ep || gk != key || gt != tag || gv != 99 || !bytes.Equal(ge, elem) {
+		t.Fatalf("put-data round trip = %d %d %q %v %v %d, %v", gr, gep, gk, gt, ge, gv, err)
 	}
-	gr, gk, rid, err := decodeGetData(roundtrip(appendGetData(nil, req, key, "r#7")))
-	if err != nil || gr != req || gk != key || rid != "r#7" {
-		t.Fatalf("get-data round trip = %d %q %q, %v", gr, gk, rid, err)
+	gr, gep, gk, rid, err := decodeGetData(roundtrip(appendGetData(nil, req, ep, key, "r#7")))
+	if err != nil || gr != req || gep != ep || gk != key || rid != "r#7" {
+		t.Fatalf("get-data round trip = %d %d %q %q, %v", gr, gep, gk, rid, err)
 	}
 	d := Delivery{Tag: tag, Elem: elem, VLen: 99, Initial: true}
 	gr, got, err := decodeData(roundtrip(appendData(nil, req, d)))
@@ -90,14 +91,14 @@ func TestWireRoundTrip(t *testing.T) {
 	if err != nil || gr != req || !got.Tag.IsZero() || len(got.Elem) != 0 || !got.Initial {
 		t.Fatalf("empty data round trip = %d %+v, %v", gr, got, err)
 	}
-	if gr, err := decodeReaderDone(roundtrip(appendReaderDone(nil, req))); err != nil || gr != req {
+	if gr, err := decodeReaderDone(roundtrip(appendReaderDone(nil, req, ep))); err != nil || gr != req {
 		t.Fatalf("reader-done round trip = %d, %v", gr, err)
 	}
-	if gr, err := decodeKeysReq(roundtrip(appendKeysReq(nil, req))); err != nil || gr != req {
-		t.Fatalf("keys round trip = %d, %v", gr, err)
+	if gr, gep, err := decodeKeysReq(roundtrip(appendKeysReq(nil, req, ep))); err != nil || gr != req || gep != ep {
+		t.Fatalf("keys round trip = %d %d, %v", gr, gep, err)
 	}
 	keys := []string{"a", "b/c", strings.Repeat("k", maxKeyLen)}
-	gr, gks, err := decodeKeysResp(roundtrip(appendKeysResp(nil, req, keys)))
+	gr, gks, err := decodeKeysResp(roundtrip(appendKeysResp(nil, req, ep, keys)))
 	if err != nil || gr != req || len(gks) != len(keys) {
 		t.Fatalf("keys-resp round trip = %d %v, %v", gr, gks, err)
 	}
@@ -107,7 +108,7 @@ func TestWireRoundTrip(t *testing.T) {
 		}
 	}
 	// An empty enumeration survives too.
-	gr, gks, err = decodeKeysResp(roundtrip(appendKeysResp(nil, req, nil)))
+	gr, gks, err = decodeKeysResp(roundtrip(appendKeysResp(nil, req, ep, nil)))
 	if err != nil || gr != req || len(gks) != 0 {
 		t.Fatalf("empty keys-resp round trip = %d %v, %v", gr, gks, err)
 	}
@@ -120,25 +121,26 @@ func TestWireRepairRoundTrip(t *testing.T) {
 	elem := []byte{8, 6, 7, 5, 3, 0, 9}
 	const key = "k"
 	const req = uint64(31337)
+	const ep = uint64(4)
 
-	gr, gt, ge, gv, err := decodeElemResp(appendElemResp(nil, req, tag, elem, 21))
+	gr, gt, ge, gv, err := decodeElemResp(appendElemResp(nil, req, ep, tag, elem, 21))
 	if err != nil || gr != req || gt != tag || gv != 21 || !bytes.Equal(ge, elem) {
 		t.Fatalf("elem-resp round trip = %d %v %v %d, %v", gr, gt, ge, gv, err)
 	}
 	// The zero-tag empty-register response survives too.
-	gr, gt, ge, gv, err = decodeElemResp(appendElemResp(nil, req, Tag{}, nil, 0))
+	gr, gt, ge, gv, err = decodeElemResp(appendElemResp(nil, req, ep, Tag{}, nil, 0))
 	if err != nil || gr != req || !gt.IsZero() || len(ge) != 0 || gv != 0 {
 		t.Fatalf("empty elem-resp round trip = %d %v %v %d, %v", gr, gt, ge, gv, err)
 	}
-	if gr, gk, err := decodeGetElem(appendGetElem(nil, req, key)); err != nil || gr != req || gk != key {
-		t.Fatalf("get-elem round trip = %d %q, %v", gr, gk, err)
+	if gr, gep, gk, err := decodeGetElem(appendGetElem(nil, req, ep, key)); err != nil || gr != req || gep != ep || gk != key {
+		t.Fatalf("get-elem round trip = %d %d %q, %v", gr, gep, gk, err)
 	}
-	gr, gk, gt, ge, gv, err := decodeRepairPut(appendRepairPut(nil, req, key, tag, elem, 21))
-	if err != nil || gr != req || gk != key || gt != tag || gv != 21 || !bytes.Equal(ge, elem) {
-		t.Fatalf("repair-put round trip = %d %q %v %v %d, %v", gr, gk, gt, ge, gv, err)
+	gr, gep, gk, gt, ge, gv, err := decodeRepairPut(appendRepairPut(nil, req, ep, key, tag, elem, 21))
+	if err != nil || gr != req || gep != ep || gk != key || gt != tag || gv != 21 || !bytes.Equal(ge, elem) {
+		t.Fatalf("repair-put round trip = %d %d %q %v %v %d, %v", gr, gep, gk, gt, ge, gv, err)
 	}
 	for _, accepted := range []bool{true, false} {
-		if gr, got, err := decodeRepairResp(appendRepairResp(nil, req, accepted)); err != nil || gr != req || got != accepted {
+		if gr, got, err := decodeRepairResp(appendRepairResp(nil, req, ep, accepted)); err != nil || gr != req || got != accepted {
 			t.Fatalf("repair-resp(%v) round trip = %d %v, %v", accepted, gr, got, err)
 		}
 	}
@@ -159,17 +161,17 @@ func TestWireKeyBounds(t *testing.T) {
 		t.Fatalf("validateKey(255 bytes) = %v", err)
 	}
 	// A forged frame with a zero-length key fails decode.
-	b := appendHeader(nil, msgGetTag, 1)
+	b := appendHeader(nil, msgGetTag, 1, 0)
 	b = append(b, 0, 0) // uint16 key length 0
-	if _, _, err := decodeGetTag(b); !errors.Is(err, ErrFrame) {
+	if _, _, _, err := decodeGetTag(b); !errors.Is(err, ErrFrame) {
 		t.Fatalf("zero-length key decode = %v", err)
 	}
 	// A forged length larger than maxKeyLen fails even when the bytes
 	// are present.
-	b = appendHeader(nil, msgGetTag, 1)
+	b = appendHeader(nil, msgGetTag, 1, 0)
 	b = append(b, 0x01, 0x00) // claims 256
 	b = append(b, bytes.Repeat([]byte{'x'}, 256)...)
-	if _, _, err := decodeGetTag(b); !errors.Is(err, ErrFrame) {
+	if _, _, _, err := decodeGetTag(b); !errors.Is(err, ErrFrame) {
 		t.Fatalf("oversized key decode = %v", err)
 	}
 }
@@ -180,7 +182,7 @@ func TestWireKeyBounds(t *testing.T) {
 func TestWireTypedErrors(t *testing.T) {
 	const req = uint64(5)
 	// Truncated payload: typed, named, and ErrFrame-compatible.
-	full := appendElemResp(nil, req, Tag{TS: 3, Writer: "w"}, []byte{1, 2}, 2)
+	full := appendElemResp(nil, req, 0, Tag{TS: 3, Writer: "w"}, []byte{1, 2}, 2)
 	_, _, _, _, err := decodeElemResp(full[:len(full)-1])
 	var fe *FrameError
 	if !errors.As(err, &fe) || !errors.Is(err, ErrFrame) {
@@ -197,7 +199,7 @@ func TestWireTypedErrors(t *testing.T) {
 	}
 
 	// Wrong type byte names both sides of the disagreement.
-	_, err = decodeAck(appendRepairResp(nil, req, true))
+	_, err = decodeAck(appendRepairResp(nil, req, 0, true))
 	if !errors.As(err, &fe) || fe.Want != "ack" || fe.Got != msgRepairResp {
 		t.Fatalf("wrong-type error = %v (%+v)", err, fe)
 	}
@@ -238,22 +240,22 @@ func TestWireTypedErrors(t *testing.T) {
 
 func TestWireMalformed(t *testing.T) {
 	// Truncated payloads must error, not panic or misparse.
-	full := appendPutData(nil, 9, "k", Tag{TS: 5, Writer: "w"}, []byte{9, 9, 9}, 3)
+	full := appendPutData(nil, 9, 0, "k", Tag{TS: 5, Writer: "w"}, []byte{9, 9, 9}, 3)
 	for cut := 1; cut < len(full); cut++ {
-		if _, _, _, _, _, err := decodePutData(full[:cut]); err == nil {
+		if _, _, _, _, _, _, err := decodePutData(full[:cut]); err == nil {
 			t.Fatalf("decodePutData accepted a %d/%d byte prefix", cut, len(full))
 		}
 	}
 	// Trailing garbage is rejected too.
-	if _, _, err := decodeTagResp(append(appendTagResp(nil, 9, Tag{TS: 1}), 0xFF)); err == nil {
+	if _, _, err := decodeTagResp(append(appendTagResp(nil, 9, 0, Tag{TS: 1}), 0xFF)); err == nil {
 		t.Fatal("decodeTagResp accepted trailing bytes")
 	}
 	// Wrong message type.
-	if _, _, err := decodeTagResp(appendAck(nil, 9)); err == nil {
+	if _, _, err := decodeTagResp(appendAck(nil, 9, 0)); err == nil {
 		t.Fatal("decodeTagResp accepted an ack")
 	}
 	// A keys-resp claiming an absurd count fails instead of allocating.
-	b := appendHeader(nil, msgKeysResp, 9)
+	b := appendHeader(nil, msgKeysResp, 9, 0)
 	b = append(b, 0xFF, 0xFF, 0xFF, 0xFF)
 	if _, _, err := decodeKeysResp(b); err == nil {
 		t.Fatal("decodeKeysResp accepted a 4-billion-key enumeration")
