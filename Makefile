@@ -3,9 +3,9 @@ GO ?= go
 # The benchmark selection shared by `make bench` and `make bench-json`.
 BENCH_PATTERN := MulAddSlice|MulSlice|MulAddMulti|Encode|Reconstruct|Verify|DecodeErrors
 
-.PHONY: all build build-cross test test-durability test-reconfig vet bench bench-smoke bench-json bench-soda-json bench-soda-smoke race fuzz
+.PHONY: all build build-cross test test-durability test-reconfig vet lint bench bench-smoke bench-json bench-soda-json bench-soda-smoke race fuzz
 
-all: vet build test race
+all: vet lint build test race
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,16 @@ race:
 
 vet:
 	$(GO) vet ./...
+	$(GO) vet -tags purego ./...
+
+# lint runs sodavet — the project's own stdlib-only analyzer suite
+# (atomicmix, lockhold, errwrap, epochframe, poolsafe) — over every
+# package, then the analyzers' golden-fixture tests. Suppress a
+# finding with `//lint:ignore <rule> <reason>`; the reason is
+# mandatory and reviewed like code.
+lint:
+	$(GO) run ./cmd/sodavet ./...
+	$(GO) test ./internal/lint/
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem ./internal/gf256/ ./internal/rs/

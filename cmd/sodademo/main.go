@@ -340,7 +340,7 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	cfg0 := &soda.Config{Epoch: 0, Codec: codec, Conns: glb.ConnsAt(0, 5), F: -1}
+	cfg0 := &soda.Config{Epoch: 0, Codec: codec, Conns: glb.ConnsAt(soda.SeedEpoch, 5), F: -1}
 	view, err := soda.NewConfigView(cfg0)
 	if err != nil {
 		return err
@@ -404,7 +404,7 @@ func run(ctx context.Context) error {
 
 	// A writer still holding the retired geometry is refused with the
 	// typed stale-epoch error naming the epoch to fetch.
-	oldW, err := soda.NewWriter("w-stale", codec, glb.ConnsAt(0, 5))
+	oldW, err := soda.NewWriter("w-stale", codec, glb.ConnsAt(soda.SeedEpoch, 5))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix enforces the all-or-nothing atomics discipline: a field
+// or package-level variable that is ever accessed through sync/atomic
+// (atomic.LoadUint64(&x.f), atomic.AddInt32(&n, 1), ...) must never
+// be read or written plainly anywhere else — a single plain access
+// next to atomic ones is a data race the race detector only catches
+// if a test happens to interleave it. Fields declared with the typed
+// atomics (atomic.Uint64, atomic.Pointer[T], ...) are safe by
+// construction, but copying or reassigning such a value bypasses the
+// atomicity and is flagged too.
+//
+// Invariant lineage: the loopback fault flags, server metrics, and
+// refcount-pooled call state (PR 7) all lean on "mutators lock, hot
+// path loads" — that split is only sound if no site mixes the modes.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed via sync/atomic must never be accessed plainly; typed atomic values must not be copied or reassigned",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(p *Package) []Diagnostic {
+	// Pass 1: every object whose address is taken in a sync/atomic
+	// call, plus the idents inside those calls (sanctioned uses).
+	atomicUse := make(map[types.Object]ast.Node) // object -> first atomic call site
+	sanctioned := make(map[*ast.Ident]bool)
+	p.inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.calleeFunc(call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || recvNamed(fn) != nil {
+			return true
+		}
+		for _, arg := range call.Args {
+			unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || unary.Op.String() != "&" {
+				continue
+			}
+			if obj := p.addressedObject(unary.X); obj != nil {
+				if _, seen := atomicUse[obj]; !seen {
+					atomicUse[obj] = call
+				}
+			}
+			ast.Inspect(unary, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					sanctioned[id] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	var diags []Diagnostic
+
+	// Pass 2: any unsanctioned use of an atomically-accessed object.
+	p.inspect(func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || sanctioned[id] {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if site, ok := atomicUse[obj]; ok {
+			diags = append(diags, p.diag(id.Pos(), "atomicmix",
+				"%s is accessed atomically at %s; this plain access races with it",
+				id.Name, p.Position(site.Pos())))
+		}
+		return true
+	})
+
+	// Pass 3: typed atomics (atomic.Uint64, atomic.Pointer[T], ...)
+	// used as plain values: assigned over or copied out.
+	flagTyped := func(e ast.Expr, what string) {
+		e = ast.Unparen(e)
+		if _, isComposite := e.(*ast.CompositeLit); isComposite {
+			return // a zero-value literal is construction, not access
+		}
+		tv, ok := p.Info.Types[e]
+		if !ok || !typeIsFrom(tv.Type, "sync/atomic") {
+			return
+		}
+		diags = append(diags, p.diag(e.Pos(), "atomicmix",
+			"%s a typed sync/atomic value bypasses its atomicity; use its methods", what))
+	}
+	p.inspect(func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				flagTyped(lhs, "assigning over")
+			}
+			for _, rhs := range s.Rhs {
+				flagTyped(rhs, "copying")
+			}
+		case *ast.CallExpr:
+			for _, arg := range s.Args {
+				flagTyped(arg, "passing")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				flagTyped(r, "returning")
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// addressedObject resolves the variable or struct field whose address
+// is being taken, or nil for addressable temporaries we don't track
+// (map/slice expressions resolve through their base identifiers).
+func (p *Package) addressedObject(e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return p.Info.Uses[x]
+	case *ast.SelectorExpr:
+		if sel := p.Info.Selections[x]; sel != nil {
+			return sel.Obj()
+		}
+		return p.Info.Uses[x.Sel]
+	case *ast.IndexExpr:
+		// &s[i]: track per-container, via the container's object.
+		return p.addressedObject(x.X)
+	case *ast.StarExpr:
+		return p.addressedObject(x.X)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EpochFrame enforces the epoch-threading invariant from the online
+// reconfiguration work (PR 9): every wire frame carries the
+// configuration epoch, and quorums are assembled within ONE epoch by
+// construction because the epoch is stamped where the conn is built
+// and threaded through every encoder. A literal-zero epoch argument
+// silently mints a frame from the pre-reconfiguration world: servers
+// past epoch 0 NACK it, and worse, a zero-epoch frame accepted by a
+// lagging server could let a quorum span a configuration flip — the
+// exact situation the epoch machinery exists to make impossible.
+//
+// The rule: any call to a function that declares a parameter named
+// "epoch" must not pass the literal constant 0 for it. wire_test.go
+// is exempt (frame-shape tests pin the encoding at epoch zero on
+// purpose); anywhere else a genuine epoch-zero context (the seed
+// configuration) should name it via a constant or thread the real
+// value, or carry a lint:ignore with the argument.
+var EpochFrame = &Analyzer{
+	Name: "epochframe",
+	Doc:  "no literal-zero epoch arguments outside wire_test.go: thread the configuration epoch",
+	Run:  runEpochFrame,
+}
+
+func runEpochFrame(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	p.inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.calleeFunc(call)
+		if fn == nil {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+			if sig.Params().At(i).Name() != "epoch" {
+				continue
+			}
+			arg := ast.Unparen(call.Args[i])
+			lit, ok := arg.(*ast.BasicLit)
+			if !ok || lit.Value != "0" {
+				continue
+			}
+			if p.fileBase(call) == "wire_test.go" {
+				continue
+			}
+			diags = append(diags, p.diag(arg.Pos(), "epochframe",
+				"literal-zero epoch passed to %s; thread the configuration epoch (frames minted at epoch 0 cannot survive a reconfiguration)", fn.Name()))
+		}
+		return true
+	})
+	return diags
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap enforces the error-discipline invariants:
+//
+//  1. A fmt.Errorf call whose arguments include a typed sentinel (a
+//     package-level Err* variable or a value of a named *Error type)
+//     must format it with %w — anything else (%v, %s, %d) flattens
+//     the sentinel to text and silently breaks every errors.Is /
+//     errors.As caller downstream (the quarantine, retry, and epoch
+//     re-park paths all dispatch on errors.Is).
+//  2. Every exported sentinel (Err* variable) and exported error type
+//     (named *Error implementing error) must have an errors.Is /
+//     errors.As target test: some function in the package's _test.go
+//     files must both reference it and call errors.Is or errors.As.
+//     Without that test, an accidental rewrap (or a dropped custom
+//     Is method) goes unnoticed until a production dispatch misses.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf over typed sentinels must use %w; exported sentinels need an errors.Is target test",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	diags = append(diags, errwrapVerbs(p)...)
+	diags = append(diags, errwrapIsTests(p)...)
+	return diags
+}
+
+// errwrapVerbs checks every fmt.Errorf call: each argument that is a
+// sentinel reference or typed-error value must be consumed by a %w
+// verb.
+func errwrapVerbs(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	p.inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.calleeFunc(call)
+		if !isFunc(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+			return true
+		}
+		format, ok := constString(p, call.Args[0])
+		if !ok {
+			return true
+		}
+		verbs := formatVerbs(format)
+		for i, arg := range call.Args[1:] {
+			if !p.isSentinelExpr(arg) {
+				continue
+			}
+			verb := byte(0)
+			if i < len(verbs) {
+				verb = verbs[i]
+			}
+			if verb != 'w' {
+				name := types.ExprString(arg)
+				if verb == 0 {
+					diags = append(diags, p.diag(arg.Pos(), "errwrap",
+						"sentinel %s has no matching verb in %q; wrap it with %%w", name, format))
+				} else {
+					diags = append(diags, p.diag(arg.Pos(), "errwrap",
+						"sentinel %s formatted with %%%c in %q; use %%w so errors.Is still matches it", name, verb, format))
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// isSentinelExpr reports whether e is a typed sentinel: a reference
+// to a package-level error variable named Err*, or any value whose
+// named type ends in "Error" and implements error.
+func (p *Package) isSentinelExpr(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	var obj types.Object
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[x.Sel]
+	}
+	if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		// Package-level Err*/err* variables are sentinels; function
+		// locals named err are ordinary wrapped causes and stay out
+		// of scope for this rule.
+		if (strings.HasPrefix(v.Name(), "Err") || strings.HasPrefix(v.Name(), "err")) && implementsError(v.Type()) {
+			return true
+		}
+	}
+	tv, ok := p.Info.Types[e]
+	if !ok {
+		return false
+	}
+	named := namedOf(tv.Type)
+	if named == nil {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Name(), "Error") && implementsError(tv.Type)
+}
+
+// constString resolves a constant string expression.
+func constString(p *Package, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs returns the verb letter consuming each successive
+// argument of a Printf-style format string. Width/precision stars
+// consume an argument too (recorded as '*'); "%%" consumes none.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break // %% literal
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+				verbs = append(verbs, c)
+				break
+			}
+			// flags, digits, '.', '#', ' ', '+', '-', '[' indexes
+			i++
+		}
+	}
+	return verbs
+}
+
+// errwrapIsTests requires an errors.Is/errors.As target test for
+// every exported sentinel declared in the package's non-test files.
+func errwrapIsTests(p *Package) []Diagnostic {
+	type sentinel struct {
+		obj types.Object
+		pos ast.Node
+		std string // "errors.Is" or "errors.Is/errors.As"
+	}
+	var sentinels []sentinel
+
+	for _, f := range p.Files {
+		if p.TestFile[f] {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch sp := spec.(type) {
+				case *ast.ValueSpec:
+					for _, name := range sp.Names {
+						obj := p.Info.Defs[name]
+						if obj == nil || !obj.Exported() || !strings.HasPrefix(obj.Name(), "Err") {
+							continue
+						}
+						if implementsError(obj.Type()) {
+							sentinels = append(sentinels, sentinel{obj, name, "errors.Is"})
+						}
+					}
+				case *ast.TypeSpec:
+					obj := p.Info.Defs[sp.Name]
+					if obj == nil || !obj.Exported() || !strings.HasSuffix(obj.Name(), "Error") {
+						continue
+					}
+					if implementsError(obj.Type()) {
+						sentinels = append(sentinels, sentinel{obj, sp.Name, "errors.Is/errors.As"})
+					}
+				}
+			}
+		}
+	}
+	if len(sentinels) == 0 {
+		return nil
+	}
+
+	// A sentinel is covered when some function in a test file both
+	// references it and calls errors.Is or errors.As.
+	covered := make(map[types.Object]bool)
+	for _, f := range p.Files {
+		if !p.TestFile[f] {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			callsIs := false
+			refs := make(map[types.Object]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					fn := p.calleeFunc(x)
+					if isFunc(fn, "errors", "Is") || isFunc(fn, "errors", "As") {
+						callsIs = true
+					}
+				case *ast.Ident:
+					if obj := p.Info.Uses[x]; obj != nil {
+						refs[obj] = true
+					}
+				}
+				return true
+			})
+			if callsIs {
+				for obj := range refs {
+					covered[obj] = true
+				}
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	for _, s := range sentinels {
+		if covered[s.obj] {
+			continue
+		}
+		diags = append(diags, p.diag(s.pos.Pos(), "errwrap",
+			"exported sentinel %s has no %s target test in this package's _test.go files", s.obj.Name(), s.std))
+	}
+	return diags
+}

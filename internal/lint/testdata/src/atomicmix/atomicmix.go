@@ -1,0 +1,54 @@
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	n    uint64
+	m    uint64
+	safe atomic.Uint64
+}
+
+func bump(c *counter) {
+	atomic.AddUint64(&c.n, 1) // ok: this is the sanctioned access mode
+}
+
+func readPlain(c *counter) uint64 {
+	return c.n // want `n is accessed atomically`
+}
+
+func writePlain(c *counter) {
+	c.n = 7 // want `n is accessed atomically`
+}
+
+func readAtomic(c *counter) uint64 {
+	return atomic.LoadUint64(&c.n) // ok: atomic access of an atomic field
+}
+
+func plainOnlyField(c *counter) uint64 {
+	c.m = 2 // ok: m is never accessed atomically
+	return c.m
+}
+
+func typedMethods(c *counter) uint64 {
+	c.safe.Add(1) // ok: typed atomics used through methods
+	return c.safe.Load()
+}
+
+func typedCopyOut(c *counter) atomic.Uint64 {
+	return c.safe // want `returning a typed sync/atomic value`
+}
+
+func typedCopyLocal(c *counter) {
+	x := c.safe // want `copying a typed sync/atomic value`
+	x.Store(1)  // the copy races with c.safe even though x itself is method-accessed
+}
+
+var hits int64
+
+func globalAtomic() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func globalPlain() int64 {
+	return hits // want `hits is accessed atomically`
+}

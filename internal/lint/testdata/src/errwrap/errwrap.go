@@ -1,0 +1,42 @@
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrTested = errors.New("tested")     // ok: pinned by TestErrTestedIsTarget
+var ErrUntested = errors.New("untested") // want `exported sentinel ErrUntested has no errors.Is target test`
+var errInternal = errors.New("internal") // ok: unexported sentinels need no target test
+
+type FrameError struct{ Seq uint64 } // want `exported sentinel FrameError has no errors.Is/errors.As target test`
+
+func (e *FrameError) Error() string { return fmt.Sprintf("frame %d", e.Seq) }
+
+func wrapWell(err error) error {
+	return fmt.Errorf("decode: %w", ErrTested) // ok: %w keeps errors.Is working
+}
+
+func wrapFlattened() error {
+	return fmt.Errorf("decode: %v", ErrTested) // want `formatted with %v`
+}
+
+func wrapStringed() error {
+	return fmt.Errorf("decode: %s", errInternal) // want `formatted with %s`
+}
+
+func wrapMissingVerb() error {
+	return fmt.Errorf("decode failed: %d", 42, errInternal) // want `has no matching verb`
+}
+
+func wrapTypedValue(e *FrameError) error {
+	return fmt.Errorf("frame: %v", e) // want `formatted with %v`
+}
+
+func wrapLocalIsFine(err error) error {
+	return fmt.Errorf("op: %v", err) // ok: locals are causes under the caller's control, not sentinels
+}
+
+func notErrorf() string {
+	return fmt.Sprintf("state: %v", errInternal) // ok: Sprintf output is for humans, not errors.Is
+}

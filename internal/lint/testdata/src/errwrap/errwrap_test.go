@@ -1,0 +1,12 @@
+package errwrap
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestErrTestedIsTarget(t *testing.T) {
+	if !errors.Is(wrapWell(nil), ErrTested) {
+		t.Fatal("wrapWell must keep ErrTested Is-matchable")
+	}
+}

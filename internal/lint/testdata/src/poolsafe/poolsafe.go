@@ -1,0 +1,59 @@
+package poolsafe
+
+import "sync"
+
+var pool sync.Pool
+
+type frame struct{ b []byte }
+
+func putFrame(f *frame) { pool.Put(f) }
+
+type scratch struct{ n int }
+
+func (s *scratch) release(p *sync.Pool) { p.Put(s) }
+
+func useAfterPut(f *frame) int {
+	pool.Put(f)
+	return len(f.b) // want `returned to the pool`
+}
+
+func doublePut(f *frame) {
+	pool.Put(f)
+	pool.Put(f) // want `returned to the pool`
+}
+
+func helperPut(f *frame) {
+	putFrame(f)
+	f.b = nil // want `returned to the pool`
+}
+
+func releaseMethod(s *scratch) int {
+	s.release(&pool)
+	return s.n // want `returned to the pool`
+}
+
+func putThenReturn(f *frame) {
+	if f.b == nil {
+		pool.Put(f)
+		return
+	}
+	f.b = f.b[:0] // ok: the put path returned before reaching here
+}
+
+func reassignKills(f *frame) int {
+	pool.Put(f)
+	f = &frame{}
+	return len(f.b) // ok: f was rebound to a fresh value
+}
+
+func deferPut(f *frame) int {
+	defer pool.Put(f)
+	return len(f.b) // ok: a deferred put runs after every lexical use
+}
+
+func branchPutThenUse(f *frame, cold bool) int {
+	if cold {
+		pool.Put(f)
+	}
+	return len(f.b) // want `returned to the pool`
+}

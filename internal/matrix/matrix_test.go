@@ -1,6 +1,7 @@
 package matrix
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -74,16 +75,19 @@ func TestInvertRoundTrip(t *testing.T) {
 }
 
 func TestInvertSingular(t *testing.T) {
+	// errors.Is, not ==: ErrSingular is a dispatch target for callers
+	// (the rs decode path picks survivor sets by it), so the contract
+	// to pin is Is-matchability even if a future caller wraps it.
 	a := New(3, 3)
 	a.Set(0, 0, 1)
 	a.Set(1, 1, 1) // third row all zero -> singular
-	if _, err := a.Invert(); err != ErrSingular {
-		t.Fatalf("Invert singular: err = %v, want ErrSingular", err)
+	if _, err := a.Invert(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Invert singular: err = %v, want errors.Is ErrSingular", err)
 	}
 	// Duplicate rows are singular too.
 	b := FromRows([][]byte{{1, 2}, {1, 2}})
-	if _, err := b.Invert(); err != ErrSingular {
-		t.Fatalf("Invert dup rows: err = %v, want ErrSingular", err)
+	if _, err := b.Invert(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Invert dup rows: err = %v, want errors.Is ErrSingular", err)
 	}
 }
 

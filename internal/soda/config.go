@@ -24,6 +24,21 @@ import (
 // the epoch the server demanded and retry the whole operation under
 // the new geometry.
 
+// SeedEpoch is the configuration epoch every cluster is born at: the
+// construction-time geometry, before any reconfiguration. Passing it
+// explicitly (rather than a literal 0) marks a call site that REALLY
+// means the seed configuration — the epochframe lint rule flags bare
+// zero epochs, which are otherwise a symptom of an unthreaded epoch.
+const SeedEpoch uint64 = 0
+
+// epochNone marks the frame classes that live outside epoch
+// admission entirely: error frames and the reconfiguration RPCs
+// themselves (which must reach sealed and retired servers no matter
+// what epoch either side believes in). The wire header still carries
+// a zero, but the name records that no configuration epoch is being
+// claimed.
+const epochNone uint64 = 0
+
 // Config is one immutable configuration of the cluster.
 type Config struct {
 	Epoch uint64

@@ -108,7 +108,7 @@ func (l *Loopback) Size() int { return len(l.servers) }
 
 // Conns returns a fresh conn set for the cluster, stamped with epoch 0
 // (the construction-time configuration).
-func (l *Loopback) Conns() []Conn { return l.ConnsAt(0, len(l.servers)) }
+func (l *Loopback) Conns() []Conn { return l.ConnsAt(SeedEpoch, len(l.servers)) }
 
 // ConnsAt returns conns for the first n servers, each stamping the
 // given configuration epoch on every operation — the conn set for one

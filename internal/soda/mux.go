@@ -213,6 +213,7 @@ func (c *MuxConn) writeBuf(s *muxSession, bp *[]byte) error {
 	}
 	binary.BigEndian.PutUint32(p[:4], uint32(len(p)-4))
 	c.wmu.Lock()
+	//lint:ignore lockhold wmu is the connection's dedicated write-serialization lock: it guards exactly this Write and nothing else ever blocks on it
 	_, err := s.conn.Write(p)
 	c.wmu.Unlock()
 	putFrame(bp)

@@ -21,6 +21,7 @@ import (
 // get-tag, every response routed back to the exchange that issued it.
 // The server's connection count proves the multiplexing is real.
 func TestMuxInterleavedUnary(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	addrs, servers := startTCPServers(t, 1)
 	c := TCPMuxConn(0, addrs[0])
@@ -74,6 +75,7 @@ func TestMuxInterleavedUnary(t *testing.T) {
 // a burst of pipelined put-datas over the same single connection: the
 // stream sees the puts, the puts see their acks, and nobody dials.
 func TestMuxRelayStreamSharesConnection(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	addrs, servers := startTCPServers(t, 1)
 	c := TCPMuxConn(0, addrs[0])
@@ -138,6 +140,7 @@ func TestMuxRelayStreamSharesConnection(t *testing.T) {
 // carrying a request id nobody is waiting for is dropped on the floor,
 // and the real response still reaches its exchange.
 func TestMuxIgnoresUnknownRequestIDs(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -161,8 +164,8 @@ func TestMuxIgnoresUnknownRequestIDs(t *testing.T) {
 		}
 		// A stray response for an exchange that does not exist, then the
 		// real one.
-		writeFrame(conn, appendTagResp(nil, req+999, 0, Tag{TS: 1, Writer: "bogus"}))
-		writeFrame(conn, appendTagResp(nil, req, 0, want))
+		writeFrame(conn, appendTagResp(nil, req+999, SeedEpoch, Tag{TS: 1, Writer: "bogus"}))
+		writeFrame(conn, appendTagResp(nil, req, SeedEpoch, want))
 	}()
 
 	c := TCPMuxConn(0, ln.Addr().String())
@@ -180,6 +183,7 @@ func TestMuxIgnoresUnknownRequestIDs(t *testing.T) {
 // request-id check: a server answering with the wrong id is reported
 // as a framing error, not silently accepted.
 func TestDialConnRejectsMismatchedRequestID(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -195,7 +199,7 @@ func TestDialConnRejectsMismatchedRequestID(t *testing.T) {
 		if _, err := readFrame(bufio.NewReader(conn), nil); err != nil {
 			return
 		}
-		writeFrame(conn, appendTagResp(nil, dialReq+6, 0, Tag{TS: 9, Writer: "w"}))
+		writeFrame(conn, appendTagResp(nil, dialReq+6, SeedEpoch, Tag{TS: 9, Writer: "w"}))
 	}()
 	c := TCPConn(0, ln.Addr().String())
 	_, err = c.GetTag(ctx, testKey)
@@ -209,6 +213,7 @@ func TestDialConnRejectsMismatchedRequestID(t *testing.T) {
 // request types over one mux connection and proves the connection —
 // and every exchange multiplexed after the bad ones — keeps working.
 func TestMuxConnSurvivesBadRequests(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	addrs, servers := startTCPServers(t, 1)
 	c := TCPMuxConn(0, addrs[0])
@@ -232,7 +237,7 @@ func TestMuxConnSurvivesBadRequests(t *testing.T) {
 	// Garbage type byte injected through the raw frame path under a
 	// pending unary id: the error frame routes back to this exchange.
 	payload, err := c.unary(ctx, func(b []byte, req uint64) []byte {
-		return appendHeader(b, 0xEE, req, 0)
+		return appendHeader(b, 0xEE, req, SeedEpoch)
 	})
 	if err != nil {
 		t.Fatalf("unary: %v", err)
@@ -260,6 +265,7 @@ func TestMuxConnSurvivesBadRequests(t *testing.T) {
 // request id gets an error echoing that id, and the connection then
 // serves a well-formed request — only headerless frames are fatal.
 func TestRawConnSurvivesGarbageRequestID(t *testing.T) {
+	checkNoLeaks(t)
 	addrs, _ := startTCPServers(t, 1)
 	conn, err := net.Dial("tcp", addrs[0])
 	if err != nil {
@@ -268,7 +274,7 @@ func TestRawConnSurvivesGarbageRequestID(t *testing.T) {
 	defer conn.Close()
 	br := bufio.NewReader(conn)
 
-	if err := writeFrame(conn, appendHeader(nil, 0xEE, 0xFEEDFACE, 0)); err != nil {
+	if err := writeFrame(conn, appendHeader(nil, 0xEE, 0xFEEDFACE, SeedEpoch)); err != nil {
 		t.Fatal(err)
 	}
 	payload, err := readFrame(br, nil)
@@ -282,7 +288,7 @@ func TestRawConnSurvivesGarbageRequestID(t *testing.T) {
 	}
 
 	// Same connection, now a real request.
-	if err := writeFrame(conn, appendGetTag(nil, 5, 0, testKey)); err != nil {
+	if err := writeFrame(conn, appendGetTag(nil, 5, SeedEpoch, testKey)); err != nil {
 		t.Fatal(err)
 	}
 	payload, err = readFrame(br, nil)
@@ -298,6 +304,7 @@ func TestRawConnSurvivesGarbageRequestID(t *testing.T) {
 // queued while the writer is busy go to the wire in a handful of
 // flushes, not one syscall per frame.
 func TestConnWriterBatchesFlushes(t *testing.T) {
+	checkNoLeaks(t)
 	client, srv := net.Pipe()
 	defer client.Close()
 	const frames = 48
@@ -307,7 +314,7 @@ func TestConnWriterBatchesFlushes(t *testing.T) {
 	// coalesce into one buffered batch.
 	for i := 1; i <= frames; i++ {
 		bp := getFrame()
-		*bp = appendAck(*bp, uint64(i), 0)
+		*bp = appendAck(*bp, uint64(i), SeedEpoch)
 		if !w.send(bp) {
 			t.Fatalf("send %d refused", i)
 		}
@@ -338,6 +345,7 @@ func TestConnWriterBatchesFlushes(t *testing.T) {
 // in-flight exchanges, and the next operation lazily redials — the
 // singleflight path — once the server is back.
 func TestMuxRedialsAfterServerRestart(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	srv := NewServer(0)
 	ns, err := ListenAndServe(srv, "127.0.0.1:0")
@@ -385,6 +393,7 @@ func TestMuxRedialsAfterServerRestart(t *testing.T) {
 // on persistent multiplexed connections, and proves the whole run used
 // exactly one connection per server.
 func TestMuxEndToEndCluster(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	codec, err := NewCodec(5, 3)
 	if err != nil {
@@ -432,6 +441,7 @@ func TestMuxEndToEndCluster(t *testing.T) {
 // and a per-key linearizability check over the full history. Run under
 // -race in CI.
 func TestMultiKeyKillRepairRejoinSoak(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	codec, lb := newCluster(t, 9, 3, rs.WithGenerator(rs.GeneratorRSView))
 	m := NewMembership(9)
@@ -576,6 +586,7 @@ func waitNoReaders(t *testing.T, s *Server, key string) {
 // cancels mid-stream, the reader-done frame lands, and the server's
 // registration count returns to zero.
 func TestMuxStreamCleanupOnCancel(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	addrs, servers := startTCPServers(t, 1)
 	c := TCPMuxConn(0, addrs[0])
@@ -608,6 +619,7 @@ func TestMuxStreamCleanupOnCancel(t *testing.T) {
 // (session fail() teardown) must unregister the reader server-side —
 // the conn close is the reader-done.
 func TestMuxStreamCleanupOnConnClose(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	addrs, servers := startTCPServers(t, 1)
 	c := TCPMuxConn(0, addrs[0])
@@ -635,6 +647,7 @@ func TestMuxStreamCleanupOnConnClose(t *testing.T) {
 // reader errors out). The client must drop the stream entry instead
 // of pinning the sink until the next successful exchange.
 func TestMuxStreamCleanupOnServerLoss(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	addrs, servers := startTCPServers(t, 1)
 	c := TCPMuxConn(0, addrs[0])
@@ -665,6 +678,7 @@ func TestMuxStreamCleanupOnServerLoss(t *testing.T) {
 // cancelled when GetData is called must not open a server-side
 // registration at all — there is no one to tear it down.
 func TestMuxGetDataDeadContextNeverRegisters(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	addrs, servers := startTCPServers(t, 1)
 	c := TCPMuxConn(0, addrs[0])

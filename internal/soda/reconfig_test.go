@@ -23,7 +23,7 @@ func TestEpochAdmitMatrix(t *testing.T) {
 
 	// Active epoch 0, unsealed.
 	for _, class := range []opClass{opClient, opDonor, opRepair} {
-		if nack := s.Admit(class, 0); nack != nil {
+		if nack := s.Admit(class, SeedEpoch); nack != nil {
 			t.Fatalf("class %d at active epoch 0: %v", class, nack)
 		}
 		if nack := s.Admit(class, 1); nack == nil {
@@ -35,7 +35,7 @@ func TestEpochAdmitMatrix(t *testing.T) {
 	if _, err := s.Reconfig(ReconfigSeal, 1, 5, 3); err != nil {
 		t.Fatalf("seal: %v", err)
 	}
-	if nack := s.Admit(opClient, 0); nack == nil {
+	if nack := s.Admit(opClient, SeedEpoch); nack == nil {
 		t.Fatal("client frame admitted on a sealed server")
 	} else if nack.Want != 1 || !nack.Sealed {
 		t.Fatalf("sealed client NACK = %+v, want Want=1 Sealed=true", nack)
@@ -43,13 +43,13 @@ func TestEpochAdmitMatrix(t *testing.T) {
 	if nack := s.Admit(opClient, 1); nack == nil {
 		t.Fatal("client frame at the pending epoch admitted before activation")
 	}
-	if nack := s.Admit(opDonor, 0); nack != nil {
+	if nack := s.Admit(opDonor, SeedEpoch); nack != nil {
 		t.Fatalf("donor read of the frozen epoch refused: %v", nack)
 	}
 	if nack := s.Admit(opRepair, 1); nack != nil {
 		t.Fatalf("migration install at the pending epoch refused: %v", nack)
 	}
-	if nack := s.Admit(opRepair, 0); nack == nil {
+	if nack := s.Admit(opRepair, SeedEpoch); nack == nil {
 		t.Fatal("repair at the sealed epoch admitted (would mutate the frozen state)")
 	}
 
@@ -61,7 +61,7 @@ func TestEpochAdmitMatrix(t *testing.T) {
 		if nack := s.Admit(class, 1); nack != nil {
 			t.Fatalf("class %d at active epoch 1: %v", class, nack)
 		}
-		nack := s.Admit(class, 0)
+		nack := s.Admit(class, SeedEpoch)
 		if nack == nil {
 			t.Fatalf("class %d at retired epoch 0 admitted", class)
 		}
@@ -102,8 +102,8 @@ func TestEpochAdmitMatrix(t *testing.T) {
 func TestNoCrossEpochQuorum(t *testing.T) {
 	ctx := testCtx(t)
 	codec, lb := newCluster(t, 5, 3)
-	w0 := mustWriter(t, "w-old", codec, lb.ConnsAt(0, 5))
-	r0 := mustReader(t, "r-old", codec, lb.ConnsAt(0, 5))
+	w0 := mustWriter(t, "w-old", codec, lb.ConnsAt(SeedEpoch, 5))
+	r0 := mustReader(t, "r-old", codec, lb.ConnsAt(SeedEpoch, 5))
 	if _, err := w0.Write(ctx, testKey, []byte("before the split")); err != nil {
 		t.Fatalf("Write at epoch 0: %v", err)
 	}
@@ -178,7 +178,7 @@ func TestReconfigGrowMigratesState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg0 := &Config{Epoch: 0, Codec: codec5, Conns: lb.ConnsAt(0, 5), F: -1}
+	cfg0 := &Config{Epoch: 0, Codec: codec5, Conns: lb.ConnsAt(SeedEpoch, 5), F: -1}
 	view, err := NewConfigView(cfg0)
 	if err != nil {
 		t.Fatal(err)
@@ -248,13 +248,13 @@ func TestReconfigGrowMigratesState(t *testing.T) {
 func TestReconfigRepairerAborts(t *testing.T) {
 	ctx := testCtx(t)
 	codec, lb := newCluster(t, 5, 3)
-	w := mustWriter(t, "w", codec, lb.ConnsAt(0, 5))
+	w := mustWriter(t, "w", codec, lb.ConnsAt(SeedEpoch, 5))
 	if _, err := w.Write(ctx, testKey, []byte("pre-flip state")); err != nil {
 		t.Fatalf("Write: %v", err)
 	}
 
 	m := NewMembership(5)
-	rp := mustRepairer(t, codec, lb.ConnsAt(0, 5), m,
+	rp := mustRepairer(t, codec, lb.ConnsAt(SeedEpoch, 5), m,
 		WithRepairInterval(5*time.Millisecond),
 		WithRepairBackoff(Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond}))
 
@@ -345,7 +345,7 @@ func TestReconfigGrowShrinkSoak(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	cfg0 := &Config{Epoch: 0, Codec: codec5, Conns: lb.ConnsAt(0, 5), F: -1}
+	cfg0 := &Config{Epoch: 0, Codec: codec5, Conns: lb.ConnsAt(SeedEpoch, 5), F: -1}
 	view, err := NewConfigView(cfg0)
 	if err != nil {
 		t.Fatal(err)
@@ -511,7 +511,7 @@ func TestEpochWriterReaderFollowFlip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg0 := &Config{Epoch: 0, Codec: codec5, Conns: lb.ConnsAt(0, 5), F: -1}
+	cfg0 := &Config{Epoch: 0, Codec: codec5, Conns: lb.ConnsAt(SeedEpoch, 5), F: -1}
 	view, err := NewConfigView(cfg0)
 	if err != nil {
 		t.Fatal(err)

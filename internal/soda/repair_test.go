@@ -24,6 +24,7 @@ func mustRepairer(t *testing.T, codec *Codec, conns []Conn, m *Membership, opts 
 }
 
 func TestMembershipLifecycle(t *testing.T) {
+	checkNoLeaks(t)
 	m := NewMembership(3)
 	for i := 0; i < 3; i++ {
 		if !m.IsLive(i) {
@@ -98,6 +99,7 @@ func TestMembershipLifecycle(t *testing.T) {
 // nothing; equal-tag installs overwrite (that is how rotten storage is
 // replaced); higher tags advance.
 func TestRepairPutNeverRollsBack(t *testing.T) {
+	checkNoLeaks(t)
 	s := NewServer(0)
 	t5 := Tag{TS: 5, Writer: "w"}
 	s.PutData(testKey, t5, []byte{1, 2, 3}, 9)
@@ -141,6 +143,7 @@ func TestRepairPutNeverRollsBack(t *testing.T) {
 // cycle: a server crashes, misses a write, restarts stale, and one
 // repair round brings it to the newest tag and readmits it.
 func TestRepairRestoresCrashedServer(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	codec, lb := newCluster(t, 5, 3, rs.WithGenerator(rs.GeneratorRSView))
 	m := NewMembership(5)
@@ -201,6 +204,7 @@ func TestRepairRestoresCrashedServer(t *testing.T) {
 // nothing to regenerate; repair degenerates into a reachability probe
 // and readmits it.
 func TestRepairEmptyRegister(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	codec, lb := newCluster(t, 5, 3)
 	m := NewMembership(5)
@@ -220,6 +224,7 @@ func TestRepairEmptyRegister(t *testing.T) {
 // not completed). Repair must not roll it back; the rejected install
 // doubles as a health probe and the server is readmitted.
 func TestRepairAlreadyCurrent(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	codec, lb := newCluster(t, 5, 3)
 	conns := lb.Conns()
@@ -260,6 +265,7 @@ func TestRepairAlreadyCurrent(t *testing.T) {
 // never the torn one, and never anything below the suspect's current
 // tag — and the torn write still completes afterwards.
 func TestRepairRacesTornWrite(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	codec, lb := newCluster(t, 9, 3, rs.WithGenerator(rs.GeneratorRSView))
 	conns := lb.Conns()
@@ -341,6 +347,7 @@ func (c lyingVLenConn) GetElem(ctx context.Context, key string) (Tag, []byte, in
 // value length pollutes only its own bucket and the honest k still
 // drive the repair.
 func TestRepairSurvivesVLenLyingDonor(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	codec, lb := newCluster(t, 5, 3, rs.WithGenerator(rs.GeneratorRSView))
 	// f=0: the write must land on every server before the crash, or a
@@ -379,6 +386,7 @@ func TestRepairSurvivesVLenLyingDonor(t *testing.T) {
 // bytes is located, excluded from the regenerated element, and queued
 // for its own repair.
 func TestRepairDetectsCorruptDonor(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	codec, lb := newCluster(t, 9, 3, rs.WithGenerator(rs.GeneratorRSView))
 	w := mustWriter(t, "w1", codec, lb.Conns())
@@ -432,6 +440,7 @@ func TestRepairDetectsCorruptDonor(t *testing.T) {
 // relayed through the server's registration — the "catches up readers
 // it missed" half of readmission.
 func TestRejoinMidReadCompletedByRepairRelay(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	codec, lb := newCluster(t, 5, 3, rs.WithGenerator(rs.GeneratorRSView))
 	conns := lb.Conns()
@@ -522,6 +531,7 @@ func (c countingConn) PutData(ctx context.Context, key string, t Tag, elem []byt
 // budget f — and contacts them again after readmission. Quarantine
 // beyond the budget fails fast instead of waiting out the context.
 func TestWriterExcludesQuarantinedServers(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	codec, lb := newCluster(t, 5, 3)
 	m := NewMembership(5)
@@ -569,6 +579,7 @@ func TestWriterExcludesQuarantinedServers(t *testing.T) {
 // errors plus the explicit marks below) and healed servers rejoin
 // quorums automatically.
 func TestKillRepairRejoinSoak(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	codec, lb := newCluster(t, 9, 3, rs.WithGenerator(rs.GeneratorRSView))
 	m := NewMembership(9)
@@ -690,6 +701,7 @@ func TestKillRepairRejoinSoak(t *testing.T) {
 // TestBackoffSchedule pins the shared retry helper: exponential
 // growth to the cap, reset, defaults, and context-bounded sleeping.
 func TestBackoffSchedule(t *testing.T) {
+	checkNoLeaks(t)
 	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
 	want := []time.Duration{10, 20, 40, 80, 80, 80}
 	for i, w := range want {

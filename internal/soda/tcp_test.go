@@ -37,6 +37,7 @@ func startTCPServers(t *testing.T, n int) ([]string, []*NetServer) {
 // a read, a server crash (listener closed), and a write/read pair
 // that ride through it on the n-f quorums.
 func TestTCPEndToEnd(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	codec, err := NewCodec(5, 3)
 	if err != nil {
@@ -80,6 +81,7 @@ func TestTCPEndToEnd(t *testing.T) {
 // then one relayed delivery per put that lands on the server, scoped
 // to the subscribed key only.
 func TestTCPRelayStream(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	codec, err := NewCodec(5, 3)
 	if err != nil {
@@ -139,6 +141,7 @@ func TestTCPRelayStream(t *testing.T) {
 // enumeration lists written keys, and the repair install enforces the
 // tag floor remotely exactly as it does in-process.
 func TestTCPRepairRPCs(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	conns, servers := startTCPCluster(t, 1)
 	c := conns[0]
@@ -188,12 +191,13 @@ func TestTCPRepairRPCs(t *testing.T) {
 // and the connection survives; a frame too short to even carry a
 // header gets a connection-level error (request id 0).
 func TestTCPUnknownTypeByte(t *testing.T) {
+	checkNoLeaks(t)
 	ctx := testCtx(t)
 	conns, _ := startTCPCluster(t, 1)
 	c := conns[0].(*tcpConn)
 
 	// Unknown type byte under a well-formed header.
-	payload, err := c.unary(ctx, appendHeader(nil, 0xFF, 7, 0))
+	payload, err := c.unary(ctx, appendHeader(nil, 0xFF, 7, SeedEpoch))
 	if err != nil {
 		t.Fatalf("unary: %v", err)
 	}
@@ -207,7 +211,7 @@ func TestTCPUnknownTypeByte(t *testing.T) {
 	}
 
 	// A malformed known-type message gets the same treatment.
-	payload, err = c.unary(ctx, append(appendHeader(nil, msgPutData, 9, 0), 0xDE, 0xAD))
+	payload, err = c.unary(ctx, append(appendHeader(nil, msgPutData, 9, SeedEpoch), 0xDE, 0xAD))
 	if err != nil {
 		t.Fatalf("unary: %v", err)
 	}
@@ -231,6 +235,7 @@ func TestTCPUnknownTypeByte(t *testing.T) {
 // and the operation context cuts both the dial and the backoff sleep
 // short.
 func TestTCPDialRetryTimeout(t *testing.T) {
+	checkNoLeaks(t)
 	// A dead address: grab an ephemeral port, then close it.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

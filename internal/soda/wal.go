@@ -354,6 +354,7 @@ func (w *wal) syncTo(seq uint64, target int64) error {
 	// The fsync runs outside mu so appenders keep writing while it
 	// spins; everything written before this call is covered, and the
 	// conservative watermark (size captured above) only under-reports.
+	//lint:ignore lockhold syncMu is the group-commit leader lock (PR 9): whoever holds it fsyncs for everyone queued behind it — blocking on it IS the coalescing
 	err := f.Sync()
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -409,6 +410,7 @@ func (w *wal) rotate() (uint64, error) {
 		return 0, w.err
 	}
 	if w.dirty {
+		//lint:ignore lockhold rotation must sync the outgoing segment before the swap, atomically with respect to appenders; it is rare (snapshot-driven) and mu is the only lock that can order it
 		if err := w.f.Sync(); err != nil {
 			w.err = err
 			return 0, err

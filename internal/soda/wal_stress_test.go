@@ -108,6 +108,7 @@ func TestWALGroupCommitCoalesces(t *testing.T) {
 			w.syncMu.Unlock()
 			t.Fatalf("waiters' records never landed (size %d, want %d)", size, base+int64(waiters)*recLen)
 		}
+		//lint:ignore lockhold this test IS the group-commit determinism check: it parks the leader lock on purpose to stack waiters behind one fsync
 		time.Sleep(time.Millisecond)
 	}
 	w.syncMu.Unlock()

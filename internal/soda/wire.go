@@ -360,7 +360,7 @@ func appendEpochNack(b []byte, req uint64, st EpochStatus, want uint64) []byte {
 }
 
 func appendReconfig(b []byte, req uint64, op ReconfigOp, epoch uint64, n, k int) []byte {
-	b = appendHeader(b, msgReconfig, req, 0)
+	b = appendHeader(b, msgReconfig, req, epochNone)
 	b = append(b, byte(op))
 	b = binary.BigEndian.AppendUint64(b, epoch)
 	b = binary.BigEndian.AppendUint16(b, uint16(n))
@@ -388,7 +388,7 @@ func appendError(b []byte, req uint64, msg string) []byte {
 	if len(msg) > maxErrorMsg {
 		msg = msg[:maxErrorMsg]
 	}
-	return appendBytes(appendHeader(b, msgError, req, 0), []byte(msg))
+	return appendBytes(appendHeader(b, msgError, req, epochNone), []byte(msg))
 }
 
 // cursor is a bounds-checked payload parser: every getter records an
